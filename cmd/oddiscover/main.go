@@ -1,0 +1,119 @@
+// Command oddiscover mines order dependencies from CSV data: constants,
+// order-compatible attribute pairs, and a minimal OD set whose closure
+// covers everything the instance satisfies within the search bounds.
+//
+// Usage:
+//
+//	oddiscover -maxlhs 1 -maxrhs 2 data.csv
+//	generate_csv | oddiscover -
+//
+// The first CSV record names the attributes; numeric-looking values compare
+// as numbers, everything else as strings.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"odlib/internal/core"
+	"odlib/internal/discover"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "oddiscover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("oddiscover", flag.ContinueOnError)
+	maxLHS := fs.Int("maxlhs", 1, "maximum left-hand list length")
+	maxRHS := fs.Int("maxrhs", 2, "maximum right-hand list length")
+	maxAttrs := fs.Int("maxattrs", 7, "maximum attribute count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: oddiscover [flags] <file.csv | ->")
+	}
+	var in io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rel, err := readCSV(in)
+	if err != nil {
+		return err
+	}
+	res, err := discover.Discover(rel, discover.Options{
+		MaxLHS: *maxLHS, MaxRHS: *maxRHS, MaxAttrs: *maxAttrs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows: %d, attributes: %v\n", rel.Len(), rel.Attrs())
+	fmt.Printf("candidates: %d, data checks: %d\n", res.Candidates, res.DataChecks)
+	if len(res.Constants) > 0 {
+		fmt.Printf("constants: %v\n", res.Constants)
+	}
+	pairs, err := discover.CompatiblePairs(rel)
+	if err != nil {
+		return err
+	}
+	for _, pr := range pairs {
+		fmt.Printf("compatible: [%s] ~ [%s]\n", pr[0], pr[1])
+	}
+	fmt.Printf("minimal OD set (%d):\n", len(res.ODs))
+	for _, od := range res.ODs {
+		fmt.Printf("  %s\n", od)
+	}
+	return nil
+}
+
+func readCSV(in io.Reader) (*core.Relation, error) {
+	r := csv.NewReader(in)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	attrs := make(core.List, len(header))
+	for i, h := range header {
+		attrs[i] = core.Attribute(h)
+	}
+	rel, err := core.NewRelation(attrs)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]core.Value, len(rec))
+		for i, s := range rec {
+			if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+				vals[i] = core.Int(n)
+			} else if f, err := strconv.ParseFloat(s, 64); err == nil {
+				vals[i] = core.Float(f)
+			} else {
+				vals[i] = core.Str(s)
+			}
+		}
+		if err := rel.AddRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

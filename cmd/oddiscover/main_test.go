@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	rel, err := readCSV(strings.NewReader("a,b,c\n1,2.5,x\n3,4.5,y\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || len(rel.Attrs()) != 3 {
+		t.Fatalf("shape = %d rows, %v", rel.Len(), rel.Attrs())
+	}
+	v, _ := rel.Value(0, "a")
+	if v.Int != 1 {
+		t.Errorf("int value = %v", v)
+	}
+	v, _ = rel.Value(1, "b")
+	if v.F != 4.5 {
+		t.Errorf("float value = %v", v)
+	}
+	v, _ = rel.Value(1, "c")
+	if v.Str != "y" {
+		t.Errorf("string value = %v", v)
+	}
+	if _, err := readCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := readCSV(strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Error("duplicate header must fail")
+	}
+	if _, err := readCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row must fail")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunProve(t *testing.T) {
+	all, err := run([]string{"-m", "[month] -> [quarter]",
+		"[year, quarter, month] <-> [year, month]"})
+	if err != nil || !all {
+		t.Errorf("implied case: all=%v err=%v", all, err)
+	}
+	all, err = run([]string{"-m", "[month] -> [quarter]", "[quarter] -> [month]"})
+	if err != nil || all {
+		t.Errorf("refuted case: all=%v err=%v", all, err)
+	}
+	if _, err := run([]string{"-m", "[a] -> [b]"}); err == nil {
+		t.Error("no candidates must fail")
+	}
+	if _, err := run([]string{"-m", "junk", "[a] -> [b]"}); err == nil {
+		t.Error("bad constraints must fail")
+	}
+	if _, err := run([]string{"junk statement"}); err == nil {
+		t.Error("bad candidate must fail")
+	}
+	if _, err := run([]string{"-f", "/nonexistent/file", "[a] -> [b]"}); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestRunProveFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "constraints.txt")
+	if err := os.WriteFile(path, []byte("# calendar\n[month] -> [quarter]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all, err := run([]string{"-f", path, "[year, month] -> [year, quarter]"})
+	if err != nil || !all {
+		t.Errorf("file constraints: all=%v err=%v", all, err)
+	}
+}

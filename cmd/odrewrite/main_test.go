@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseFD(t *testing.T) {
+	f, err := parseFD("{month} -> {quarter}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.LHS.Contains("month") || !f.RHS.Contains("quarter") {
+		t.Errorf("parseFD = %v", f)
+	}
+	if _, err := parseFD("month quarter"); err == nil {
+		t.Error("missing arrow must fail")
+	}
+	if _, err := parseFD("{mo nth} -> {q}"); err == nil {
+		t.Error("bad attribute must fail")
+	}
+	if _, err := parseFD("{a} -> {b!}"); err == nil {
+		t.Error("bad rhs must fail")
+	}
+}
+
+func TestRunRewrite(t *testing.T) {
+	if err := run([]string{"-m", "[month] -> [quarter]", "-order", "year, quarter, month", "-proof"}); err != nil {
+		t.Errorf("run failed: %v", err)
+	}
+	if err := run([]string{"-m", "[m] -> [q]", "-fd", "{m} -> {q}", "-group", "y, q, m"}); err != nil {
+		t.Errorf("group run failed: %v", err)
+	}
+	if err := run([]string{"-m", "[a] -> [b]"}); err == nil {
+		t.Error("no work must fail")
+	}
+	if err := run([]string{"-m", "bad"}); err == nil {
+		t.Error("bad constraints must fail")
+	}
+	if err := run([]string{"-order", "a,,b"}); err == nil {
+		t.Error("bad order must fail")
+	}
+}

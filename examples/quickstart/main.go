@@ -1,0 +1,70 @@
+// Quickstart: declare order dependencies, reason about implication, and
+// rewrite ORDER BY lists — the paper's Example 1 in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odlib"
+)
+
+func main() {
+	// The months of a year determine its quarters, and monotonically so:
+	// as month grows, quarter never decreases. That is an order dependency
+	// (OD) — strictly stronger than the FD month → quarter.
+	constraints, err := odlib.ParseConstraints("[month] -> [quarter]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := odlib.NewReasoner(constraints)
+
+	// Example 1 of the paper: the ORDER BY of
+	//   SELECT year, quarter, month, SUM(amount) ... ORDER BY year, quarter, month
+	// can drop quarter — something the FD alone cannot justify, because
+	// string-valued quarters like "Fall" < "Spring" would sort wrongly.
+	reduced, err := odlib.ReduceOrderBy(odlib.L("year", "quarter", "month"), constraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ORDER BY year, quarter, month  =>  ORDER BY %v\n", reduced)
+
+	// The reasoner is sound and complete. Implications come back true...
+	ok, err := r.Equivalent(odlib.L("year", "quarter", "month"), odlib.L("year", "month"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[year, quarter, month] <-> [year, month] implied: %v\n", ok)
+
+	// ...and refutations come with a two-row counterexample.
+	od, _ := odlib.ParseOD("[quarter] -> [month]")
+	cx, err := r.Counterexample(od)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counterexample to %s:\n%s", od, cx)
+
+	// Armstrong relation: an instance that satisfies exactly the closure of
+	// the constraints (the paper's completeness construction, Section 4).
+	table, err := odlib.ArmstrongRelation(constraints, odlib.L("month", "quarter", "year"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Armstrong relation (%d rows) satisfies exactly the implied ODs\n", table.Len())
+
+	// And discovery inverts the process: mine ODs from data.
+	rel, err := odlib.NewRelation(odlib.L("month", "quarter"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for m := int64(1); m <= 12; m++ {
+		if err := rel.AddIntRow(m, (m-1)/3+1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	found, err := odlib.DiscoverODs(rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered from the calendar: %v\n", found)
+}

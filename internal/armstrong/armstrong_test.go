@@ -1,0 +1,402 @@
+package armstrong
+
+import (
+	"math/rand"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+func L(attrs ...string) core.List { return core.L(attrs...) }
+
+func mustParse(t *testing.T, text string) []core.OD {
+	t.Helper()
+	ods, err := core.ParseStatements(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ods
+}
+
+func mustRel(t *testing.T, attrs core.List, rows ...[]int64) *core.Relation {
+	t.Helper()
+	r := core.MustRelation(attrs)
+	for _, row := range rows {
+		if err := r.AddIntRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestFigures4to6Append reproduces the paper's append example exactly:
+// t1 (Figure 4) appended with t2 (Figure 5) yields Figure 6.
+func TestFigures4to6Append(t *testing.T) {
+	attrs := L("A", "B", "C", "D")
+	t1 := mustRel(t, attrs, []int64{0, 0, 0, 0}, []int64{0, 0, 1, 1})
+	t2 := mustRel(t, attrs, []int64{0, 1, 0, 0}, []int64{1, 0, 0, 0})
+	got, err := Append(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustRel(t, attrs,
+		[]int64{0, 0, 0, 0},
+		[]int64{0, 0, 1, 1},
+		[]int64{2, 3, 2, 2},
+		[]int64{3, 2, 2, 2},
+	)
+	if got.Len() != want.Len() {
+		t.Fatalf("append produced %d rows, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		for _, a := range attrs {
+			g, _ := got.Value(i, a)
+			w, _ := want.Value(i, a)
+			if !g.Equal(w) {
+				t.Fatalf("Figure 6 mismatch at row %d attr %s: got %v want %v\n%s", i, a, g, w, got)
+			}
+		}
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	t1 := mustRel(t, L("A"), []int64{1})
+	t2 := mustRel(t, L("B"), []int64{1})
+	if _, err := Append(t1, t2); err == nil {
+		t.Error("mismatched schemas must fail")
+	}
+	t3 := core.MustRelation(L("A"))
+	if err := t3.AddRow(core.Str("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(t1, t3); err == nil {
+		t.Error("non-integer values must fail")
+	}
+	empty := core.MustRelation(L("A"))
+	got, err := Append(t1, empty)
+	if err != nil || got.Len() != 1 {
+		t.Errorf("append with empty right: %v %v", got, err)
+	}
+	got, err = Append(empty, t1)
+	if err != nil || got.Len() != 1 {
+		t.Errorf("append with empty left: %v %v", got, err)
+	}
+	if _, err := AppendAll(); err == nil {
+		t.Error("AppendAll of nothing must fail")
+	}
+}
+
+// TestAppendLemma9: if two tables satisfy an OD with a non-empty left side,
+// their append satisfies it too — appending introduces no splits or swaps
+// beyond the trivial [] ↦ Y.
+func TestAppendLemma9(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	universe := L("A", "B", "C")
+	for i := 0; i < 200; i++ {
+		t1 := core.RandRelation(rng, universe, 4, 3)
+		t2 := core.RandRelation(rng, universe, 4, 3)
+		od := core.RandOD(rng, universe, 2)
+		if od.LHS.Empty() {
+			od.LHS = L("A")
+		}
+		ok1, _, err := t1.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok2, _, err := t2.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok1 || !ok2 {
+			continue
+		}
+		app, err := Append(t1, t2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okA, _, err := app.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okA {
+			t.Fatalf("Lemma 9 violated for %s:\n%s", od, app)
+		}
+		// And the trivial exception: [] ↦ [A] is always falsified across
+		// blocks when both inputs are non-empty.
+		okC, _, err := app.Satisfies(core.ConstantOD("A"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okC {
+			t.Fatal("append of non-empty tables cannot keep a constant")
+		}
+	}
+}
+
+// TestFigure7Split checks the split construction on the FD example A → B:
+// the table satisfies M and falsifies exactly the non-implied FD-form ODs.
+func TestFigure7Split(t *testing.T) {
+	m := mustParse(t, "[A] -> [A, B]")
+	universe := L("A", "B", "C")
+	split, err := SplitTable(m, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, v, err := split.SatisfiesAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("split(M) must satisfy M, violated: %v\n%s", v, split)
+	}
+	// FD-form completeness: C → A is not implied and must be falsified.
+	holds, _, err := split.Satisfies(core.NewOD(L("C"), L("C", "A")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Errorf("split(M) fails to falsify the non-implied FD C → A\n%s", split)
+	}
+	// A → C likewise.
+	holds, _, err = split.Satisfies(core.NewOD(L("A"), L("A", "C")))
+	if err != nil || holds {
+		t.Errorf("split(M) fails to falsify A → C (err=%v)\n%s", err, split)
+	}
+	// Implied FD-form ODs hold: AC → B.
+	holds, _, err = split.Satisfies(core.NewOD(L("A", "C"), L("A", "C", "B")))
+	if err != nil || !holds {
+		t.Errorf("split(M) must satisfy the implied FD AC → B (err=%v)", err)
+	}
+	// Splits introduce no swaps: every order-compatibility over the universe
+	// holds on split(M).
+	for _, x := range universe {
+		for _, y := range universe {
+			okC, _, err := split.OrderCompatible(core.List{x}, core.List{y})
+			if err != nil || !okC {
+				t.Errorf("split(M) must not contain swaps: %s ~ %s failed (err=%v)", x, y, err)
+			}
+		}
+	}
+}
+
+// TestFigure9EmptyContext drives the empty-context construction directly:
+// with M = {A ~ C} over {A, B, C}, the pair (A, B) swaps only in the empty
+// context once B's component is separate, and C must ride with A.
+func TestFigure9EmptyContext(t *testing.T) {
+	m := mustParse(t, "[A] ~ [C]")
+	b := NewBuilder(0)
+	p := prover.New(m)
+	two, err := b.emptyContextSwap(p, L("A", "B", "C"), "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Len() != 2 {
+		t.Fatalf("want 2 rows, got %d", two.Len())
+	}
+	// A ascends, B descends, C ascends with A (same component).
+	pat, err := core.PatternOf(two, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Sign("A") == pat.Sign("B") {
+		t.Errorf("A and B must swap: %v", pat)
+	}
+	if pat.Sign("A") != pat.Sign("C") {
+		t.Errorf("C must follow A (A ~ C): %v", pat)
+	}
+	ok, v, err := two.SatisfiesAll(m)
+	if err != nil || !ok {
+		t.Errorf("empty-context swap must satisfy M: %v %v", v, err)
+	}
+	// The chain-connected case must be rejected.
+	mChain := mustParse(t, "[A] ~ [B]")
+	p2 := prover.New(mChain)
+	if _, err := b.emptyContextSwap(p2, L("A", "B"), "A", "B"); err == nil {
+		t.Error("chain-connected pair must be rejected (Lemma 12)")
+	}
+}
+
+// TestCanonicalTableSatisfiesM: the canonical table never falsifies M.
+func TestCanonicalTableSatisfiesM(t *testing.T) {
+	cases := []string{
+		"[A] -> [B]",
+		"[A] -> [A, B]",
+		"[A] ~ [B]",
+		"[A] -> [B]; [B] -> [C]",
+		"[A, B] -> [C]",
+		"[] -> [A]",
+		"[A] <-> [B]",
+		"[month] -> [quarter]",
+	}
+	b := NewBuilder(0)
+	for _, text := range cases {
+		m := mustParse(t, text)
+		universe := core.AttrsOf(m).Sorted()
+		table, err := b.CanonicalTable(m, universe)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		ok, v, err := table.SatisfiesAll(m)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if !ok {
+			t.Errorf("canonical table for %q falsifies M: %v\n%s", text, v, table)
+		}
+	}
+}
+
+// TestCanonicalTableComplete is the executable Theorem 17: over every OD
+// with sides of up to two attributes, the canonical table satisfies exactly
+// the implied ones.
+func TestCanonicalTableComplete(t *testing.T) {
+	cases := []string{
+		"[A] -> [B]",
+		"[A] -> [A, B]",
+		"[A] ~ [B]",
+		"[A] -> [B]; [B] -> [C]",
+		"[] -> [A]",
+		"[A] <-> [B]",
+		"[A, B] -> [C]",
+		"[C] -> [A, B]",
+	}
+	b := NewBuilder(0)
+	for _, text := range cases {
+		m := mustParse(t, text)
+		universe := core.AttrsOf(m).Sorted()
+		table, err := b.CanonicalTable(m, universe)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		ok, bad, err := Complete(table, m, universe, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if !ok {
+			implied, _ := prover.New(m).Implies(*bad)
+			t.Errorf("canonical table for %q disagrees on %s (implied=%v)\n%s",
+				text, bad, implied, table)
+		}
+	}
+}
+
+// TestCanonicalTableCompleteRandom stress-tests Theorem 17 with random
+// constraint sets over three attributes.
+func TestCanonicalTableCompleteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	universe := L("A", "B", "C")
+	b := NewBuilder(0)
+	for i := 0; i < 25; i++ {
+		var m []core.OD
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			m = append(m, core.RandOD(rng, universe, 2))
+		}
+		table, err := b.CanonicalTable(m, universe)
+		if err != nil {
+			t.Fatalf("%s: %v", core.ODsString(m), err)
+		}
+		okM, v, err := table.SatisfiesAll(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okM {
+			t.Fatalf("canonical table for %s falsifies M: %v\n%s", core.ODsString(m), v, table)
+		}
+		ok, bad, err := Complete(table, m, universe, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			implied, _ := prover.New(m).Implies(*bad)
+			t.Fatalf("canonical table for %s disagrees on %s (implied=%v)\n%s",
+				core.ODsString(m), bad, implied, table)
+		}
+	}
+}
+
+// TestEnumerationTableComplete: the enumeration-based Armstrong relation is
+// complete by construction; verify it anyway, including against the
+// canonical construction.
+func TestEnumerationTableComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	universe := L("A", "B", "C")
+	for i := 0; i < 25; i++ {
+		var m []core.OD
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			m = append(m, core.RandOD(rng, universe, 2))
+		}
+		table, err := EnumerationTable(m, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, bad, err := Complete(table, m, universe, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("enumeration table for %s disagrees on %s\n%s", core.ODsString(m), bad, table)
+		}
+	}
+	// All-constants edge: the table is a single row.
+	m := mustParse(t, "[] -> [A]; [] -> [B]")
+	table, err := EnumerationTable(m, L("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Len() != 1 {
+		t.Errorf("all-constant enumeration table should have one row, got %d", table.Len())
+	}
+}
+
+// TestFigure8FrozenContext: with M = {[C, A] ~ [C, B]} there is no swap
+// between A and B while C ties, but there is one in the context where C is
+// free; the canonical table must contain a C-tied block with no A/B swap
+// falsification and still falsify [A] ~ [B].
+func TestFigure8FrozenContext(t *testing.T) {
+	m := mustParse(t, "[C, A] ~ [C, B]")
+	universe := L("A", "B", "C")
+	b := NewBuilder(0)
+	table, err := b.CanonicalTable(m, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, v, err := table.SatisfiesAll(m)
+	if err != nil || !ok {
+		t.Fatalf("canonical table falsifies M: %v %v\n%s", v, err, table)
+	}
+	holds, _, err := table.SatisfiesAll(core.OrderCompat(L("A"), L("B")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Errorf("[A] ~ [B] is not implied and must be falsified\n%s", table)
+	}
+	holds, _, err = table.SatisfiesAll(core.OrderCompat(L("C", "A"), L("C", "B")))
+	if err != nil || !holds {
+		t.Errorf("[C,A] ~ [C,B] must hold (err=%v)\n%s", err, table)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	if _, err := SplitTable(nil, L("A", "A")); err == nil {
+		t.Error("duplicate universe must fail")
+	}
+	long := make(core.List, DefaultMaxAttrs+1)
+	for i := range long {
+		long[i] = core.Attribute(rune('A' + i))
+	}
+	if _, err := SplitTable(nil, long); err == nil {
+		t.Error("oversized universe must fail")
+	}
+	if _, err := SplitTable(mustParse(t, "[A] -> [Z]"), L("A")); err == nil {
+		t.Error("OD outside universe must fail")
+	}
+	if _, err := EnumerationTable(nil, L("A", "A")); err == nil {
+		t.Error("duplicate universe must fail for enumeration")
+	}
+	b := NewBuilder(3)
+	if _, err := b.SwapTable(nil, L("A", "B", "C", "D")); err == nil {
+		t.Error("oversized universe must fail for swap")
+	}
+}

@@ -1,0 +1,87 @@
+package armstrong
+
+import (
+	"math/rand"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+// TestCanonicalTableCompleteFourAttrs is the heavier completeness stress:
+// random constraint sets over four attributes, validated against the prover
+// for every OD with sides up to two attributes. Skipped under -short.
+func TestCanonicalTableCompleteFourAttrs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy completeness stress")
+	}
+	rng := rand.New(rand.NewSource(211))
+	universe := L("A", "B", "C", "D")
+	b := NewBuilder(0)
+	for i := 0; i < 12; i++ {
+		var m []core.OD
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			m = append(m, core.RandOD(rng, universe, 2))
+		}
+		table, err := b.CanonicalTable(m, universe)
+		if err != nil {
+			t.Fatalf("%s: %v", core.ODsString(m), err)
+		}
+		okM, v, err := table.SatisfiesAll(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okM {
+			t.Fatalf("canonical table for %s falsifies M: %v", core.ODsString(m), v)
+		}
+		ok, bad, err := Complete(table, m, universe, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			implied, _ := prover.New(m).Implies(*bad)
+			t.Fatalf("canonical table for %s disagrees on %s (implied=%v)",
+				core.ODsString(m), bad, implied)
+		}
+	}
+}
+
+// TestCanonicalAgreesWithEnumeration: the paper's construction and the
+// direct enumeration construction satisfy exactly the same ODs.
+func TestCanonicalAgreesWithEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	universe := L("A", "B", "C")
+	b := NewBuilder(0)
+	lists := enumerateLists(universe, 2)
+	for i := 0; i < 15; i++ {
+		var m []core.OD
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			m = append(m, core.RandOD(rng, universe, 2))
+		}
+		canon, err := b.CanonicalTable(m, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := EnumerationTable(m, universe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lhs := range lists {
+			for _, rhs := range lists {
+				od := core.NewOD(lhs, rhs)
+				a, _, err := canon.Satisfies(od)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, _, err := enum.Satisfies(od)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != c {
+					t.Fatalf("constructions disagree on %s under %s: canon=%v enum=%v",
+						od, core.ODsString(m), a, c)
+				}
+			}
+		}
+	}
+}

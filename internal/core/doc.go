@@ -1,0 +1,19 @@
+// Package core implements the foundational definitions of order dependency
+// (OD) theory from "Fundamentals of Order Dependencies" (Szlichta, Godfrey,
+// Gryz; PVLDB 5(11), 2012): attribute lists, relation instances, the
+// lexicographic tuple operators ≼, ≺ and =X (Definitions 1-3), order
+// dependencies and order compatibility (Definitions 4-5), and the split/swap
+// falsification witnesses (Definitions 13-14, Theorem 15).
+//
+// Unlike functional dependencies, order dependencies are stated over lists of
+// attributes: [A, B] ↦ [C] and [B, A] ↦ [C] are different statements. List is
+// therefore the central type of the package, and set views are derived from
+// it rather than the other way around.
+//
+// The package also provides two-row comparison patterns (Pattern). An OD is a
+// constraint on pairs of tuples, so a relation satisfies a set of ODs exactly
+// when each of its two-row subrelations does. A two-row subrelation is fully
+// described by one comparison sign per attribute, which makes Pattern the
+// semantic ground truth used by the implication prover (internal/prover) and
+// the completeness constructions (internal/armstrong).
+package core

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestListBasics(t *testing.T) {
+	x := L("A", "B", "C")
+	if got := x.String(); got != "[A, B, C]" {
+		t.Errorf("String = %q", got)
+	}
+	if x.Head() != "A" {
+		t.Errorf("Head = %s", x.Head())
+	}
+	if !x.Tail().Equal(L("B", "C")) {
+		t.Errorf("Tail = %v", x.Tail())
+	}
+	if !x.Prefix(2).Equal(L("A", "B")) {
+		t.Errorf("Prefix(2) = %v", x.Prefix(2))
+	}
+	if !x.Prefix(10).Equal(x) {
+		t.Errorf("Prefix(10) = %v", x.Prefix(10))
+	}
+	if !x.Suffix(1).Equal(L("B", "C")) {
+		t.Errorf("Suffix(1) = %v", x.Suffix(1))
+	}
+	if x.Suffix(5) != nil {
+		t.Errorf("Suffix(5) = %v", x.Suffix(5))
+	}
+	if x.Empty() || !(List{}).Empty() {
+		t.Error("Empty misbehaves")
+	}
+	if (List{}).Tail() != nil {
+		t.Error("Tail of empty list should be empty")
+	}
+}
+
+func TestListConcat(t *testing.T) {
+	x := L("A")
+	y := L("B", "C")
+	got := x.Concat(y, nil, L("D"))
+	if !got.Equal(L("A", "B", "C", "D")) {
+		t.Errorf("Concat = %v", got)
+	}
+	// Concat must not alias its receiver.
+	got[0] = "Z"
+	if x[0] != "A" {
+		t.Error("Concat aliases receiver storage")
+	}
+}
+
+func TestListIndexContains(t *testing.T) {
+	x := L("A", "B", "A")
+	if x.Index("A") != 0 || x.Index("B") != 1 || x.Index("Z") != -1 {
+		t.Errorf("Index wrong: %d %d %d", x.Index("A"), x.Index("B"), x.Index("Z"))
+	}
+	if !x.Contains("B") || x.Contains("Z") {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestListNormalize(t *testing.T) {
+	tests := []struct {
+		in, want List
+	}{
+		{nil, L()},
+		{L("A"), L("A")},
+		{L("A", "B", "A"), L("A", "B")},
+		{L("A", "A", "A"), L("A")},
+		{L("C", "B", "C", "B", "A"), L("C", "B", "A")},
+	}
+	for _, tc := range tests {
+		if got := tc.in.Normalize(); !got.Equal(tc.want) {
+			t.Errorf("Normalize(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if L("A", "B", "A").HasDuplicates() == false || L("A", "B").HasDuplicates() {
+		t.Error("HasDuplicates wrong")
+	}
+}
+
+func TestListSetOps(t *testing.T) {
+	x := L("A", "B", "B")
+	y := L("B", "A")
+	if !x.SetEqual(y) {
+		t.Error("SetEqual should hold")
+	}
+	if x.SetEqual(L("A")) {
+		t.Error("SetEqual should fail")
+	}
+	if got := L("A", "B", "C", "B").Minus(L("B")); !got.Equal(L("A", "C")) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestListHasPrefix(t *testing.T) {
+	x := L("A", "B", "C")
+	for _, p := range []List{nil, L("A"), L("A", "B"), x} {
+		if !x.HasPrefix(p) {
+			t.Errorf("HasPrefix(%v) should hold", p)
+		}
+	}
+	for _, p := range []List{L("B"), L("A", "C"), L("A", "B", "C", "D")} {
+		if x.HasPrefix(p) {
+			t.Errorf("HasPrefix(%v) should fail", p)
+		}
+	}
+}
+
+func TestListPermutations(t *testing.T) {
+	perms := L("A", "B", "C").Permutations()
+	if len(perms) != 6 {
+		t.Fatalf("got %d permutations", len(perms))
+	}
+	seen := map[string]bool{}
+	for _, p := range perms {
+		if !p.SetEqual(L("A", "B", "C")) || len(p) != 3 {
+			t.Errorf("bad permutation %v", p)
+		}
+		seen[p.String()] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("permutations not distinct: %v", seen)
+	}
+	if got := (List{}).Permutations(); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("empty permutations = %v", got)
+	}
+}
+
+func TestAttrSet(t *testing.T) {
+	s := NewAttrSet("B", "A")
+	if !s.Contains("A") || s.Contains("C") {
+		t.Error("Contains wrong")
+	}
+	s.Add("C")
+	if got := s.Sorted(); !got.Equal(L("A", "B", "C")) {
+		t.Errorf("Sorted = %v", got)
+	}
+	t2 := NewAttrSet("A", "B")
+	if !t2.SubsetOf(s) || s.SubsetOf(t2) {
+		t.Error("SubsetOf wrong")
+	}
+	u := t2.Union(NewAttrSet("C"))
+	if !u.Equal(s) {
+		t.Error("Union/Equal wrong")
+	}
+	if got := s.String(); got != "{A, B, C}" {
+		t.Errorf("String = %q", got)
+	}
+	c := s.Clone()
+	c.Add("D")
+	if s.Contains("D") {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestNormalizeIdempotentQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	universe := L("A", "B", "C", "D")
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		x := RandList(rng, universe, 8)
+		n := x.Normalize()
+		return n.Equal(n.Normalize()) && !n.HasDuplicates() && n.SetEqual(x.Concat(nil))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcatAssociativeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	universe := L("A", "B", "C")
+	f := func(seed int64) bool {
+		rng.Seed(seed)
+		x, y, z := RandList(rng, universe, 4), RandList(rng, universe, 4), RandList(rng, universe, 4)
+		return x.Concat(y).Concat(z).Equal(x.Concat(y.Concat(z)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseOD parses a single order dependency from text. Accepted forms:
+//
+//	[A, B] -> [C]
+//	A, B -> C
+//	[] -> [A]        (a constant attribute)
+//
+// Attribute names consist of letters, digits and underscores.
+func ParseOD(s string) (OD, error) {
+	lhs, rhs, op, err := splitDep(s)
+	if err != nil {
+		return OD{}, err
+	}
+	if op != "->" {
+		return OD{}, fmt.Errorf("core: expected ->, found %q in %q", op, s)
+	}
+	l, err := ParseList(lhs)
+	if err != nil {
+		return OD{}, err
+	}
+	r, err := ParseList(rhs)
+	if err != nil {
+		return OD{}, err
+	}
+	return OD{LHS: l, RHS: r}, nil
+}
+
+// ParseStatement parses an OD statement and expands it to the equivalent
+// plain ODs. In addition to the ParseOD forms it accepts:
+//
+//	[A] <-> [B]      order equivalence, expands to both directions
+//	[A] ~ [B]        order compatibility, expands to AB <-> BA
+func ParseStatement(s string) ([]OD, error) {
+	lhs, rhs, op, err := splitDep(s)
+	if err != nil {
+		return nil, err
+	}
+	l, err := ParseList(lhs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ParseList(rhs)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "->":
+		return []OD{{LHS: l, RHS: r}}, nil
+	case "<->":
+		return Equivalence(l, r), nil
+	case "~":
+		return OrderCompat(l, r), nil
+	default:
+		return nil, fmt.Errorf("core: unknown operator %q in %q", op, s)
+	}
+}
+
+// ParseStatements parses a sequence of statements separated by semicolons or
+// newlines, skipping blanks and #-comments, and returns the expanded ODs.
+func ParseStatements(text string) ([]OD, error) {
+	var out []OD
+	for _, line := range strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ods, err := ParseStatement(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ods...)
+	}
+	return out, nil
+}
+
+// ParseList parses an attribute list such as "[A, B]" or "A, B". The empty
+// list is written "[]" or "".
+func ParseList(s string) (List, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("core: unbalanced brackets in list %q", s)
+		}
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make(List, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("core: empty attribute in list %q", s)
+		}
+		if !validAttr(p) {
+			return nil, fmt.Errorf("core: invalid attribute name %q", p)
+		}
+		out = append(out, Attribute(p))
+	}
+	return out, nil
+}
+
+func validAttr(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// splitDep splits a dependency string around its operator, which is one of
+// "->", "<->" or "~".
+func splitDep(s string) (lhs, rhs, op string, err error) {
+	for _, candidate := range []string{"<->", "->", "~"} {
+		if i := strings.Index(s, candidate); i >= 0 {
+			return s[:i], s[i+len(candidate):], candidate, nil
+		}
+	}
+	return "", "", "", fmt.Errorf("core: no dependency operator in %q", s)
+}

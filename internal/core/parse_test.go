@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+func TestParseList(t *testing.T) {
+	tests := []struct {
+		in   string
+		want List
+		ok   bool
+	}{
+		{"[A, B]", L("A", "B"), true},
+		{"A,B", L("A", "B"), true},
+		{" [ A , B_2 ] ", L("A", "B_2"), true},
+		{"[]", nil, true},
+		{"", nil, true},
+		{"[A", nil, false},
+		{"[A,,B]", nil, false},
+		{"[A-B]", nil, false},
+		{"[1A]", nil, false},
+	}
+	for _, tc := range tests {
+		got, err := ParseList(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseList(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && !got.Equal(tc.want) {
+			t.Errorf("ParseList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseOD(t *testing.T) {
+	od, err := ParseOD("[A, B] -> [C]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !od.Equal(NewOD(L("A", "B"), L("C"))) {
+		t.Errorf("ParseOD = %v", od)
+	}
+	od, err = ParseOD("[] -> [A]")
+	if err != nil || !od.Equal(ConstantOD("A")) {
+		t.Errorf("constant parse = %v, %v", od, err)
+	}
+	if _, err := ParseOD("[A] <-> [B]"); err == nil {
+		t.Error("ParseOD should reject <->")
+	}
+	if _, err := ParseOD("[A] [B]"); err == nil {
+		t.Error("ParseOD should reject missing operator")
+	}
+	if _, err := ParseOD("[A -> [B]"); err == nil {
+		t.Error("ParseOD should reject bad list")
+	}
+	if _, err := ParseOD("[A] -> [B!"); err == nil {
+		t.Error("ParseOD should reject bad rhs")
+	}
+}
+
+func TestParseStatement(t *testing.T) {
+	ods, err := ParseStatement("[A] <-> [B]")
+	if err != nil || len(ods) != 2 {
+		t.Fatalf("ParseStatement <-> = %v, %v", ods, err)
+	}
+	if !ods[0].Equal(NewOD(L("A"), L("B"))) || !ods[1].Equal(NewOD(L("B"), L("A"))) {
+		t.Errorf("expanded <-> wrong: %v", ods)
+	}
+	ods, err = ParseStatement("[A] ~ [B]")
+	if err != nil || len(ods) != 2 {
+		t.Fatalf("ParseStatement ~ = %v, %v", ods, err)
+	}
+	if !ods[0].Equal(NewOD(L("A", "B"), L("B", "A"))) {
+		t.Errorf("expanded ~ wrong: %v", ods)
+	}
+	if _, err := ParseStatement("nonsense"); err == nil {
+		t.Error("ParseStatement should reject junk")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	text := `
+# declared constraints
+[A] -> [B]
+[C] ~ [D]; [E] <-> [F]
+`
+	ods, err := ParseStatements(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ods) != 5 {
+		t.Fatalf("got %d ODs: %v", len(ods), ods)
+	}
+	if _, err := ParseStatements("[A] -> [B]\nbad line"); err == nil {
+		t.Error("bad line should fail")
+	}
+}

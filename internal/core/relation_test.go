@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustRel(t *testing.T, attrs List, rows ...[]int64) *Relation {
+	t.Helper()
+	r := MustRelation(attrs)
+	for _, row := range rows {
+		if err := r.AddIntRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.0), Int(2), -1},
+		{Str("Fall"), Str("Spring"), -1},
+		{Str("Winter"), Str("Spring"), 1},
+		{Null(), Int(-100), -1},
+		{Null(), Null(), 0},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Compare(tc.a); got != -tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.b, tc.a, got, -tc.want)
+		}
+	}
+	if !Int(7).Equal(Float(7)) {
+		t.Error("Int(7) should equal Float(7)")
+	}
+	if Int(1).String() != "1" || Str("x").String() != "x" || Null().String() != "NULL" {
+		t.Error("Value.String wrong")
+	}
+}
+
+func TestRelationSchema(t *testing.T) {
+	if _, err := NewRelation(L("A", "A")); err == nil {
+		t.Error("duplicate schema should fail")
+	}
+	r := MustRelation(L("A", "B"))
+	if err := r.AddIntRow(1); err == nil {
+		t.Error("short row should fail")
+	}
+	if err := r.AddIntRow(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Value(0, "Z"); err == nil {
+		t.Error("missing attribute should fail")
+	}
+	v, err := r.Value(0, "B")
+	if err != nil || v.Int != 2 {
+		t.Errorf("Value = %v, %v", v, err)
+	}
+	if !r.HasAttr("A") || r.HasAttr("Z") {
+		t.Error("HasAttr wrong")
+	}
+}
+
+func TestCompareOnDefinition1(t *testing.T) {
+	// Figure 1's relation.
+	r := mustRel(t, L("A", "B", "C", "D", "E", "F"),
+		[]int64{3, 2, 0, 4, 7, 9},
+		[]int64{3, 2, 1, 3, 8, 9},
+	)
+	tests := []struct {
+		x    List
+		want int
+	}{
+		{nil, 0},               // s ≼[] t and t ≼[] s
+		{L("A"), 0},            // tie
+		{L("A", "B"), 0},       // tie
+		{L("A", "B", "C"), -1}, // row 0 ≺ row 1 at C
+		{L("D"), 1},            // 4 > 3
+		{L("A", "D"), 1},       // decided at D
+		{L("C", "D"), -1},      // decided at C before D
+		{L("F", "E", "D"), -1}, // F ties, E decides
+		{L("F", "D", "E"), 1},  // F ties, D decides
+	}
+	for _, tc := range tests {
+		got, err := r.CompareOn(0, 1, tc.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("CompareOn(0,1,%v) = %d, want %d", tc.x, got, tc.want)
+		}
+		rev, err := r.CompareOn(1, 0, tc.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rev != -tc.want {
+			t.Errorf("CompareOn(1,0,%v) = %d, want %d", tc.x, rev, -tc.want)
+		}
+	}
+	if _, err := r.CompareOn(0, 1, L("Z")); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestLeqLessEq(t *testing.T) {
+	r := mustRel(t, L("A", "B"),
+		[]int64{1, 5},
+		[]int64{1, 5},
+		[]int64{2, 0},
+	)
+	if ok, _ := r.LeqOn(0, 1, L("A", "B")); !ok {
+		t.Error("equal rows should be ≼")
+	}
+	if ok, _ := r.LessOn(0, 1, L("A", "B")); ok {
+		t.Error("equal rows are not ≺")
+	}
+	if ok, _ := r.EqOn(0, 1, L("A", "B")); !ok {
+		t.Error("equal rows are =X")
+	}
+	if ok, _ := r.LessOn(0, 2, L("A")); !ok {
+		t.Error("1 < 2 on A")
+	}
+	if ok, _ := r.LeqOn(2, 0, L("A")); ok {
+		t.Error("2 ≼A 1 should fail")
+	}
+}
+
+func TestSortedIndexOn(t *testing.T) {
+	r := mustRel(t, L("A", "B"),
+		[]int64{2, 1},
+		[]int64{1, 2},
+		[]int64{2, 0},
+		[]int64{1, 1},
+	)
+	idx, err := r.SortedIndexOn(L("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("SortedIndexOn = %v, want %v", idx, want)
+		}
+	}
+	// Stability: rows tied on the sort list keep input order.
+	idx, err = r.SortedIndexOn(L("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []int{1, 3, 0, 2}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("SortedIndexOn(A) = %v, want %v (stability)", idx, want)
+		}
+	}
+}
+
+func TestProjectClone(t *testing.T) {
+	r := mustRel(t, L("A", "B", "C"), []int64{1, 2, 3}, []int64{4, 5, 6})
+	p, err := r.Project(L("C", "A", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Attrs().Equal(L("C", "A")) {
+		t.Errorf("projected schema = %v", p.Attrs())
+	}
+	v, _ := p.Value(1, "C")
+	if v.Int != 6 {
+		t.Errorf("projected value = %v", v)
+	}
+	if _, err := r.Project(L("Z")); err == nil {
+		t.Error("projecting missing attribute should fail")
+	}
+	c := r.Clone()
+	c.rows[0][0] = Int(99)
+	if r.rows[0][0].Int == 99 {
+		t.Error("Clone aliases rows")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := mustRel(t, L("A", "B"), []int64{1, 2})
+	want := "A\tB\n1\t2\n"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRandRelationShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := RandRelation(rng, L("A", "B"), 10, 3)
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		for _, a := range r.Attrs() {
+			v, _ := r.Value(i, a)
+			if v.Int < 0 || v.Int > 2 {
+				t.Fatalf("value out of domain: %v", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds supported by the engine. Null sorts before every non-null
+// value, matching the SQL "NULLS FIRST" convention for ascending order.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// Value is a typed cell value. Values of different kinds compare by kind
+// order, so relations with heterogeneous columns still have a total order;
+// well-typed tables never rely on that.
+type Value struct {
+	Kind Kind
+	Int  int64
+	F    float64
+	Str  string
+}
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// Compare returns -1, 0 or +1 as v sorts before, equal to or after w.
+func (v Value) Compare(w Value) int {
+	if v.Kind != w.Kind {
+		// Numeric kinds compare with one another; otherwise kind order.
+		if v.Kind == KindInt && w.Kind == KindFloat {
+			return cmpFloat(float64(v.Int), w.F)
+		}
+		if v.Kind == KindFloat && w.Kind == KindInt {
+			return cmpFloat(v.F, float64(w.Int))
+		}
+		if v.Kind < w.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindInt:
+		switch {
+		case v.Int < w.Int:
+			return -1
+		case v.Int > w.Int:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		return cmpFloat(v.F, w.F)
+	default:
+		switch {
+		case v.Str < w.Str:
+			return -1
+		case v.Str > w.Str:
+			return 1
+		}
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether v and w compare equal.
+func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.Str
+	}
+}
+
+// GoString implements fmt.GoStringer for test failure output.
+func (v Value) GoString() string { return fmt.Sprintf("core.Value(%s)", v.String()) }

@@ -1,0 +1,102 @@
+package datetime
+
+import (
+	"testing"
+
+	"odlib/internal/core"
+)
+
+// TestDeclaredODsHoldOnCalendar validates every declared dependency of
+// Figure 2 against five years of real calendar data, crossing leap years
+// and ISO week boundaries.
+func TestDeclaredODsHoldOnCalendar(t *testing.T) {
+	cal, err := Calendar(1999, 5*365+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range DeclaredODs() {
+		ok, v, err := cal.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("declared OD falsified by the calendar: %v", v)
+		}
+	}
+}
+
+// TestDatePathsDerivedAndTrue: every Figure 2 node is reachable from [date]
+// per the prover, and the derived ODs hold on real data.
+func TestDatePathsDerivedAndTrue(t *testing.T) {
+	h := New()
+	paths, err := h.DatePaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(Nodes()) {
+		t.Fatalf("every node should be determined by date: got %d of %d", len(paths), len(Nodes()))
+	}
+	cal, err := Calendar(2003, 3*365)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range paths {
+		ok, v, err := cal.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("derived path OD falsified on calendar: %v", v)
+		}
+	}
+}
+
+// TestExample4 reproduces Example 4: a verified proof that
+// [date] ↦ [year, quarter, month, day].
+func TestExample4(t *testing.T) {
+	p, err := Example4Proof()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("proof fails verification: %v", err)
+	}
+	concl, err := p.Conclusion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.NewOD(core.List{Date}, core.List{Year, Quarter, Month, Day})
+	if !concl.Equal(want) {
+		t.Errorf("conclusion %s, want %s", concl, want)
+	}
+	// And it holds on the calendar.
+	cal, err := Calendar(2000, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, v, err := cal.Satisfies(concl)
+	if err != nil || !ok {
+		t.Errorf("Example 4 OD falsified on calendar: %v %v", v, err)
+	}
+}
+
+// TestNonPathsRejected: orders the diagram does not claim must not be
+// implied — e.g. week_seq does not determine the year, nor quarter the
+// month.
+func TestNonPathsRejected(t *testing.T) {
+	h := New()
+	for _, od := range []core.OD{
+		core.NewOD(core.List{WeekSeq}, core.List{Year}),
+		core.NewOD(core.List{Quarter}, core.List{Month}),
+		core.NewOD(core.List{Year, Quarter}, core.List{Month}),
+		core.NewOD(core.List{DayOfYear}, core.List{Month}),
+	} {
+		ok, err := h.Implies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s must not be implied", od)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package discover infers order dependencies from relation instances — the
+// research direction the paper spawned (its Section 6 proposes OD
+// determination for schema design; later work such as the authors' OD
+// discovery algorithms industrialized it).
+//
+// Discovery enumerates candidate ODs level-wise over duplicate-free
+// attribute lists, validates each against the data with the split/swap
+// check of internal/core, and keeps a minimal set: a candidate already
+// implied by the dependencies found so far (per the complete prover of
+// internal/prover) is redundant and dropped. The result is a small
+// generating set whose closure covers everything the instance satisfies
+// within the enumerated space.
+package discover
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxLHS and MaxRHS bound the list lengths of candidate ODs; zero
+	// selects 2.
+	MaxLHS, MaxRHS int
+	// MaxAttrs guards against factorial candidate explosions; zero selects 7.
+	MaxAttrs int
+	// KeepRedundant retains ODs implied by earlier findings instead of
+	// minimizing.
+	KeepRedundant bool
+}
+
+func (o *Options) defaults() {
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 2
+	}
+	if o.MaxRHS <= 0 {
+		o.MaxRHS = 2
+	}
+	if o.MaxAttrs <= 0 {
+		o.MaxAttrs = 7
+	}
+}
+
+// Result holds the discovery outcome.
+type Result struct {
+	Constants  core.List // attributes with a single value in the instance
+	ODs        []core.OD // discovered dependencies (minimal unless KeepRedundant)
+	Candidates int       // candidates enumerated
+	DataChecks int       // candidates validated against the data
+}
+
+// Discover infers the ODs of the instance within the option bounds.
+func Discover(r *core.Relation, opts Options) (*Result, error) {
+	opts.defaults()
+	attrs := r.Attrs()
+	if len(attrs) > opts.MaxAttrs {
+		return nil, fmt.Errorf("discover: %d attributes exceed the limit of %d", len(attrs), opts.MaxAttrs)
+	}
+	res := &Result{}
+
+	// Constants first: they subsume many other dependencies and make the
+	// minimal set much smaller.
+	consts, err := Constants(r)
+	if err != nil {
+		return nil, err
+	}
+	res.Constants = consts
+	for _, a := range consts {
+		res.ODs = append(res.ODs, core.ConstantOD(a))
+	}
+
+	lhsLists := enumerateLists(attrs, opts.MaxLHS)
+	rhsLists := enumerateLists(attrs, opts.MaxRHS)
+
+	// Level-wise: shorter candidates first, so minimization prefers small
+	// generators.
+	type cand struct {
+		od   core.OD
+		size int
+	}
+	var cands []cand
+	for _, lhs := range lhsLists {
+		for _, rhs := range rhsLists {
+			od := core.NewOD(lhs, rhs)
+			if od.Trivial() {
+				continue
+			}
+			cands = append(cands, cand{od, len(lhs) + len(rhs)})
+		}
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && less(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+
+	p := prover.New(res.ODs)
+	for _, c := range cands {
+		res.Candidates++
+		if !opts.KeepRedundant {
+			implied, err := p.Implies(c.od)
+			if err != nil {
+				return nil, err
+			}
+			if implied {
+				continue
+			}
+		}
+		res.DataChecks++
+		holds, _, err := r.Satisfies(c.od)
+		if err != nil {
+			return nil, err
+		}
+		if !holds {
+			continue
+		}
+		res.ODs = append(res.ODs, c.od)
+		p = prover.New(res.ODs)
+	}
+	return res, nil
+}
+
+func less(a, b struct {
+	od   core.OD
+	size int
+}) bool {
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.od.Key() < b.od.Key()
+}
+
+// Constants returns the attributes holding a single value in the instance
+// (Definition 18's semantic counterpart).
+func Constants(r *core.Relation) (core.List, error) {
+	var out core.List
+	for _, a := range r.Attrs() {
+		ok, _, err := r.Satisfies(core.ConstantOD(a))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// CompatiblePairs returns the unordered attribute pairs that are order
+// compatible in the instance — the swap-free pairs, the raw material of the
+// paper's completeness construction.
+func CompatiblePairs(r *core.Relation) ([][2]core.Attribute, error) {
+	attrs := r.Attrs()
+	var out [][2]core.Attribute
+	for i := 0; i < len(attrs); i++ {
+		for j := i + 1; j < len(attrs); j++ {
+			ok, _, err := r.OrderCompatible(core.List{attrs[i]}, core.List{attrs[j]})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, [2]core.Attribute{attrs[i], attrs[j]})
+			}
+		}
+	}
+	return out, nil
+}
+
+// enumerateLists yields all duplicate-free lists of length 1..maxLen over
+// the attributes, plus the empty list.
+func enumerateLists(attrs core.List, maxLen int) []core.List {
+	out := []core.List{nil}
+	var rec func(cur core.List)
+	rec = func(cur core.List) {
+		if len(cur) >= maxLen {
+			return
+		}
+		for _, a := range attrs {
+			if cur.Contains(a) {
+				continue
+			}
+			next := cur.Concat(core.List{a})
+			out = append(out, next)
+			rec(next)
+		}
+	}
+	rec(nil)
+	return out
+}

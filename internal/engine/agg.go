@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"odlib/internal/core"
+)
+
+// StreamAggregate computes GROUP BY over an input that is already ordered so
+// that each group's rows are contiguous (see rewrite.GroupBySatisfiedBy).
+// It holds one group in memory at a time — the cheap aggregation the
+// paper's rewrites unlock.
+type StreamAggregate struct {
+	Input   Operator
+	GroupBy core.List
+	Aggs    []Agg
+	Stats   *Stats
+
+	groupCols []int
+	aggCols   []int
+	curKey    Row
+	have      bool
+	states    []*aggState
+	done      bool
+	emitted   map[string]bool
+}
+
+// NewStreamAggregate builds a streaming aggregate. The caller is
+// responsible for the input order; Next fails if a group key recurs after a
+// different key intervened, so incorrect plans are caught, not silently
+// wrong.
+func NewStreamAggregate(input Operator, groupBy core.List, aggs []Agg, stats *Stats) *StreamAggregate {
+	return &StreamAggregate{Input: input, GroupBy: groupBy, Aggs: aggs, Stats: stats}
+}
+
+// Schema implements Operator: the group attributes followed by the
+// aggregate outputs.
+func (s *StreamAggregate) Schema() core.List {
+	out := s.GroupBy.Clone()
+	for _, a := range s.Aggs {
+		out = append(out, a.As)
+	}
+	return out
+}
+
+// Open implements Operator.
+func (s *StreamAggregate) Open() error {
+	schema := s.Input.Schema()
+	pos, err := schemaPos(schema)
+	if err != nil {
+		return err
+	}
+	s.groupCols, err = colsOf(schema, pos, s.GroupBy)
+	if err != nil {
+		return err
+	}
+	s.aggCols = s.aggCols[:0]
+	for _, a := range s.Aggs {
+		if a.Kind == Count {
+			s.aggCols = append(s.aggCols, -1)
+			continue
+		}
+		c, ok := pos[a.Attr]
+		if !ok {
+			return fmt.Errorf("engine: aggregate attribute %s not in schema %v", a.Attr, schema)
+		}
+		s.aggCols = append(s.aggCols, c)
+	}
+	s.have = false
+	s.done = false
+	s.curKey = nil
+	s.emitted = make(map[string]bool)
+	return s.Input.Open()
+}
+
+// Next implements Operator.
+func (s *StreamAggregate) Next() (Row, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	for {
+		row, ok, err := s.Input.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			s.done = true
+			if s.have {
+				return s.emit(), true, nil
+			}
+			return nil, false, nil
+		}
+		key := make(Row, len(s.groupCols))
+		for i, c := range s.groupCols {
+			key[i] = row[c]
+		}
+		if !s.have {
+			if err := s.start(key); err != nil {
+				return nil, false, err
+			}
+		} else if !s.sameKey(key) {
+			out := s.emit()
+			if err := s.start(key); err != nil {
+				return nil, false, err
+			}
+			s.fold(row)
+			return out, true, nil
+		}
+		s.fold(row)
+	}
+}
+
+func (s *StreamAggregate) sameKey(key Row) bool {
+	for i := range key {
+		if s.Stats != nil {
+			s.Stats.Comparisons++
+		}
+		if !key[i].Equal(s.curKey[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// start opens a new group, failing if the key was already emitted — that
+// means the input was not grouped contiguously and the plan is wrong. The
+// check makes bad rewrites loud instead of silently incorrect.
+func (s *StreamAggregate) start(key Row) error {
+	var sb strings.Builder
+	for _, v := range key {
+		sb.WriteString(v.String())
+		sb.WriteByte('\x00')
+	}
+	ks := sb.String()
+	if s.emitted[ks] {
+		return fmt.Errorf("engine: stream aggregate saw group %v again; input is not grouped on %v", key, s.GroupBy)
+	}
+	s.emitted[ks] = true
+	s.curKey = key
+	s.have = true
+	s.states = make([]*aggState, len(s.Aggs))
+	for i, a := range s.Aggs {
+		s.states[i] = &aggState{kind: a.Kind}
+	}
+	return nil
+}
+
+func (s *StreamAggregate) fold(row Row) {
+	for i, st := range s.states {
+		if s.aggCols[i] < 0 {
+			st.add(core.Int(0))
+			continue
+		}
+		st.add(row[s.aggCols[i]])
+	}
+}
+
+func (s *StreamAggregate) emit() Row {
+	out := make(Row, 0, len(s.curKey)+len(s.states))
+	out = append(out, s.curKey...)
+	for _, st := range s.states {
+		out = append(out, st.result())
+	}
+	return out
+}
+
+// Close implements Operator.
+func (s *StreamAggregate) Close() error { return s.Input.Close() }
+
+// HashAggregate computes GROUP BY with a hash table on the group key — the
+// order-oblivious baseline.
+type HashAggregate struct {
+	Input   Operator
+	GroupBy core.List
+	Aggs    []Agg
+	Stats   *Stats
+
+	groups []Row
+	pos    int
+}
+
+// NewHashAggregate builds a hash aggregate.
+func NewHashAggregate(input Operator, groupBy core.List, aggs []Agg, stats *Stats) *HashAggregate {
+	return &HashAggregate{Input: input, GroupBy: groupBy, Aggs: aggs, Stats: stats}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() core.List {
+	out := h.GroupBy.Clone()
+	for _, a := range h.Aggs {
+		out = append(out, a.As)
+	}
+	return out
+}
+
+// Open materializes the aggregation. Output groups are emitted in key order
+// for determinism (the sort is not charged: a real hash aggregate emits in
+// arbitrary order, and charging it would bias against the baseline).
+func (h *HashAggregate) Open() error {
+	schema := h.Input.Schema()
+	pos, err := schemaPos(schema)
+	if err != nil {
+		return err
+	}
+	groupCols, err := colsOf(schema, pos, h.GroupBy)
+	if err != nil {
+		return err
+	}
+	aggCols := make([]int, len(h.Aggs))
+	for i, a := range h.Aggs {
+		if a.Kind == Count {
+			aggCols[i] = -1
+			continue
+		}
+		c, ok := pos[a.Attr]
+		if !ok {
+			return fmt.Errorf("engine: aggregate attribute %s not in schema %v", a.Attr, schema)
+		}
+		aggCols[i] = c
+	}
+	if err := h.Input.Open(); err != nil {
+		return err
+	}
+	type bucket struct {
+		key    Row
+		states []*aggState
+	}
+	buckets := make(map[string]*bucket)
+	var order []string
+	for {
+		row, ok, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var sb strings.Builder
+		key := make(Row, len(groupCols))
+		for i, c := range groupCols {
+			key[i] = row[c]
+			sb.WriteString(row[c].String())
+			sb.WriteByte('\x00')
+		}
+		ks := sb.String()
+		b, found := buckets[ks]
+		if !found {
+			b = &bucket{key: key, states: make([]*aggState, len(h.Aggs))}
+			for i, a := range h.Aggs {
+				b.states[i] = &aggState{kind: a.Kind}
+			}
+			buckets[ks] = b
+			order = append(order, ks)
+		}
+		if h.Stats != nil {
+			h.Stats.HashedRows++
+		}
+		for i, st := range b.states {
+			if aggCols[i] < 0 {
+				st.add(core.Int(0))
+				continue
+			}
+			st.add(row[aggCols[i]])
+		}
+	}
+	sort.Strings(order)
+	h.groups = h.groups[:0]
+	for _, ks := range order {
+		b := buckets[ks]
+		out := make(Row, 0, len(b.key)+len(b.states))
+		out = append(out, b.key...)
+		for _, st := range b.states {
+			out = append(out, st.result())
+		}
+		h.groups = append(h.groups, out)
+	}
+	h.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (Row, bool, error) {
+	if h.pos >= len(h.groups) {
+		return nil, false, nil
+	}
+	row := h.groups[h.pos]
+	h.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	return h.Input.Close()
+}

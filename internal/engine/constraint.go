@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+)
+
+// This file implements the paper's prototype feature from Section 2.3: "We
+// have added a new type of check constraint which expresses an OD." Tables
+// carry declared order dependencies; CheckConstraints validates them
+// against the data with split/swap witnesses, and Declared() hands the
+// verified knowledge to the planner.
+
+// DeclareOD registers an order dependency as an integrity constraint of the
+// table. Constraints are validated lazily: call CheckConstraints after
+// loading (checking per insert would re-sort the table each time).
+func (t *Table) DeclareOD(od core.OD) error {
+	for a := range od.Attrs() {
+		if _, err := t.Col(a); err != nil {
+			return fmt.Errorf("engine: constraint %s: %w", od, err)
+		}
+	}
+	t.constraints = append(t.constraints, od)
+	return nil
+}
+
+// Declared returns the table's declared OD constraints.
+func (t *Table) Declared() []core.OD {
+	out := make([]core.OD, len(t.constraints))
+	copy(out, t.constraints)
+	return out
+}
+
+// CheckConstraints validates every declared OD against the current rows,
+// returning the first violation as an error carrying the offending rows —
+// the admission check an OD check constraint performs.
+func (t *Table) CheckConstraints() error {
+	if len(t.constraints) == 0 {
+		return nil
+	}
+	rel, err := t.AsRelation()
+	if err != nil {
+		return err
+	}
+	for _, od := range t.constraints {
+		ok, v, err := rel.Satisfies(od)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("engine: table %s violates declared constraint: %w", t.Name, v)
+		}
+	}
+	return nil
+}
+
+// AsRelation copies the table into a core.Relation for constraint checking
+// and discovery.
+func (t *Table) AsRelation() (*core.Relation, error) {
+	rel, err := core.NewRelation(t.schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range t.rows {
+		if err := rel.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

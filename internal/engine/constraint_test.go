@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"testing"
+
+	"odlib/internal/core"
+)
+
+func TestDeclareODAndCheck(t *testing.T) {
+	tbl := newTable(t, "t", L("sk", "date"),
+		[]int64{1, 100}, []int64{2, 200}, []int64{3, 300})
+	od := core.NewOD(L("sk"), L("date"))
+	if err := tbl.DeclareOD(od); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.DeclareOD(core.NewOD(L("date"), L("sk"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Declared(); len(got) != 2 || !got[0].Equal(od) {
+		t.Errorf("Declared = %v", got)
+	}
+	if err := tbl.CheckConstraints(); err != nil {
+		t.Fatalf("constraints should hold: %v", err)
+	}
+	// A violating insert is caught by the next check.
+	if err := tbl.Insert(core.Int(4), core.Int(250)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CheckConstraints(); err == nil {
+		t.Error("swap-violating row must fail the check")
+	}
+	// Declaring over unknown attributes fails.
+	if err := tbl.DeclareOD(core.NewOD(L("nope"), L("sk"))); err == nil {
+		t.Error("unknown attribute in constraint must fail")
+	}
+	// Tables without constraints always pass.
+	empty := newTable(t, "e", L("A"))
+	if err := empty.CheckConstraints(); err != nil {
+		t.Errorf("no constraints should pass: %v", err)
+	}
+}
+
+func TestAsRelationRoundTrip(t *testing.T) {
+	tbl := newTable(t, "t", L("A", "B"), []int64{1, 2}, []int64{3, 4})
+	rel, err := tbl.AsRelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || !rel.Attrs().Equal(L("A", "B")) {
+		t.Errorf("round trip wrong: %v", rel)
+	}
+	v, _ := rel.Value(1, "B")
+	if v.Int != 4 {
+		t.Errorf("value = %v", v)
+	}
+}

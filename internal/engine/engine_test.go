@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"odlib/internal/core"
+)
+
+func L(attrs ...string) core.List { return core.L(attrs...) }
+
+func newTable(t *testing.T, name string, schema core.List, rows ...[]int64) *Table {
+	t.Helper()
+	tbl, err := NewTable(name, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		vals := make([]core.Value, len(r))
+		for i, v := range r {
+			vals[i] = core.Int(v)
+		}
+		if err := tbl.Insert(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func rowsEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !a[i][j].Equal(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTableBasics(t *testing.T) {
+	if _, err := NewTable("t", L("A", "A")); err == nil {
+		t.Error("duplicate schema must fail")
+	}
+	tbl := newTable(t, "t", L("A", "B"), []int64{1, 2})
+	if err := tbl.Insert(core.Int(1)); err == nil {
+		t.Error("short row must fail")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if _, err := tbl.Col("Z"); err == nil {
+		t.Error("missing column must fail")
+	}
+	c, err := tbl.Col("B")
+	if err != nil || c != 1 {
+		t.Errorf("Col = %d, %v", c, err)
+	}
+}
+
+func TestIndexScanOrderAndRange(t *testing.T) {
+	tbl := newTable(t, "t", L("A", "B"),
+		[]int64{3, 30}, []int64{1, 10}, []int64{2, 20}, []int64{2, 5}, []int64{5, 50})
+	idx, err := tbl.BuildIndex("a_b", L("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	rows, err := Run(NewIndexScan(idx, &stats), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := []int64{1, 2, 2, 3, 5}
+	wantB := []int64{10, 5, 20, 30, 50}
+	for i := range rows {
+		if rows[i][0].Int != wantA[i] || rows[i][1].Int != wantB[i] {
+			t.Fatalf("index order wrong at %d: %v", i, rows[i])
+		}
+	}
+	if stats.RowsScanned != 5 || stats.RowsOutput != 5 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	// Range [2, 3] on the A prefix.
+	var s2 Stats
+	rows, err = Run(NewIndexRangeScan(idx, []core.Value{core.Int(2)}, []core.Value{core.Int(3)}, &s2), &s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("range rows = %d, want 3", len(rows))
+	}
+	if s2.IndexProbes != 2 {
+		t.Errorf("two probes expected, got %d", s2.IndexProbes)
+	}
+	// Empty range.
+	rows, err = Run(NewIndexRangeScan(idx, []core.Value{core.Int(9)}, []core.Value{core.Int(4)}, nil), nil)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("inverted range should be empty: %v %v", rows, err)
+	}
+	// LookupRange mirrors the scan.
+	ids := idx.LookupRange([]core.Value{core.Int(2)}, []core.Value{core.Int(3)}, nil)
+	if len(ids) != 3 {
+		t.Errorf("LookupRange = %v", ids)
+	}
+
+	// IndexOn prefix matching.
+	if tbl.IndexOn(L("A")) == nil || tbl.IndexOn(L("A", "B")) == nil {
+		t.Error("IndexOn should match prefixes")
+	}
+	if tbl.IndexOn(L("B")) != nil {
+		t.Error("IndexOn must not match non-prefix")
+	}
+	if tbl.Index("a_b") == nil || tbl.Index("nope") != nil {
+		t.Error("Index lookup wrong")
+	}
+	// Insert invalidates indexes.
+	if err := tbl.Insert(core.Int(0), core.Int(0)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Index("a_b") != nil {
+		t.Error("insert must invalidate indexes")
+	}
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	tbl := newTable(t, "t", L("A", "B"),
+		[]int64{1, 10}, []int64{2, 20}, []int64{3, 30}, []int64{4, 40})
+	var stats Stats
+	op := NewLimit(
+		NewProject(
+			NewFilter(NewTableScan(tbl, &stats), Cond{Attr: "A", Op: Ge, Val: core.Int(2)}),
+			L("B")),
+		2)
+	rows, err := Run(op, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Row{{core.Int(20)}, {core.Int(30)}}
+	if !rowsEqual(rows, want) {
+		t.Errorf("rows = %v, want %v", rows, want)
+	}
+	// Filter on a missing attribute errors at Open.
+	bad := NewFilter(NewTableScan(tbl, nil), Cond{Attr: "Z", Op: Eq, Val: core.Int(0)})
+	if err := bad.Open(); err == nil {
+		t.Error("filter on missing attribute must fail")
+	}
+	if err := NewProject(NewTableScan(tbl, nil), L("Z")).Open(); err == nil {
+		t.Error("project on missing attribute must fail")
+	}
+}
+
+func TestCondOperators(t *testing.T) {
+	tests := []struct {
+		op   CmpOp
+		v    int64
+		want bool
+	}{
+		{Eq, 5, true}, {Eq, 4, false},
+		{Ne, 4, true}, {Ne, 5, false},
+		{Lt, 6, true}, {Lt, 5, false},
+		{Le, 5, true}, {Le, 4, false},
+		{Gt, 4, true}, {Gt, 5, false},
+		{Ge, 5, true}, {Ge, 6, false},
+	}
+	for _, tc := range tests {
+		c := Cond{Attr: "A", Op: tc.op, Val: core.Int(tc.v)}
+		if got := c.Holds(core.Int(5)); got != tc.want {
+			t.Errorf("5 %s %d = %v, want %v", tc.op, tc.v, got, tc.want)
+		}
+	}
+	if (Cond{Attr: "A", Op: Eq, Val: core.Int(1)}).String() != "A = 1" {
+		t.Error("Cond.String wrong")
+	}
+}
+
+func TestSortOp(t *testing.T) {
+	tbl := newTable(t, "t", L("A", "B"),
+		[]int64{3, 1}, []int64{1, 2}, []int64{2, 0}, []int64{1, 1})
+	var stats Stats
+	rows, err := Run(NewSort(NewTableScan(tbl, &stats), L("A", "B"), &stats), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := []int64{1, 1, 2, 3}
+	wantB := []int64{1, 2, 0, 1}
+	for i := range rows {
+		if rows[i][0].Int != wantA[i] || rows[i][1].Int != wantB[i] {
+			t.Fatalf("sort order wrong: %v", rows)
+		}
+	}
+	if stats.Sorts != 1 || stats.SortedRows != 4 || stats.Comparisons == 0 {
+		t.Errorf("sort stats wrong: %+v", stats)
+	}
+	if err := NewSort(NewTableScan(tbl, nil), L("Z"), nil).Open(); err == nil {
+		t.Error("sort on missing attribute must fail")
+	}
+}
+
+func TestAggregatesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 30; trial++ {
+		tbl, err := NewTable("t", L("G", "H", "V"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			if err := tbl.Insert(core.Int(int64(rng.Intn(3))), core.Int(int64(rng.Intn(3))), core.Int(int64(rng.Intn(100)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		aggs := []Agg{
+			{Kind: Sum, Attr: "V", As: "sum_v"},
+			{Kind: Count, As: "cnt"},
+			{Kind: Min, Attr: "V", As: "min_v"},
+			{Kind: Max, Attr: "V", As: "max_v"},
+		}
+		group := L("G", "H")
+		var s1, s2 Stats
+		streamRows, err := Run(NewStreamAggregate(
+			NewSort(NewTableScan(tbl, &s1), group, &s1), group, aggs, &s1), &s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashRows, err := Run(NewHashAggregate(NewTableScan(tbl, &s2), group, aggs, &s2), &s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsEqual(streamRows, hashRows) {
+			t.Fatalf("aggregates disagree:\nstream %v\nhash   %v", streamRows, hashRows)
+		}
+	}
+}
+
+func TestStreamAggregateCatchesBadOrder(t *testing.T) {
+	// Group G recurs non-contiguously: the stream aggregate must fail loudly.
+	tbl := newTable(t, "t", L("G", "V"),
+		[]int64{1, 10}, []int64{2, 20}, []int64{1, 30})
+	_, err := Run(NewStreamAggregate(NewTableScan(tbl, nil), L("G"),
+		[]Agg{{Kind: Sum, Attr: "V", As: "s"}}, nil), nil)
+	if err == nil {
+		t.Fatal("stream aggregate over unsorted input must error")
+	}
+}
+
+func TestStreamAggregateSchemaAndEmpty(t *testing.T) {
+	tbl := newTable(t, "t", L("G", "V"))
+	agg := NewStreamAggregate(NewTableScan(tbl, nil), L("G"),
+		[]Agg{{Kind: Sum, Attr: "V", As: "s"}}, nil)
+	if !agg.Schema().Equal(L("G", "s")) {
+		t.Errorf("schema = %v", agg.Schema())
+	}
+	rows, err := Run(agg, nil)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("empty input should aggregate to nothing: %v %v", rows, err)
+	}
+	bad := NewStreamAggregate(NewTableScan(tbl, nil), L("G"),
+		[]Agg{{Kind: Sum, Attr: "Z", As: "s"}}, nil)
+	if err := bad.Open(); err == nil {
+		t.Error("aggregate on missing attribute must fail")
+	}
+}
+
+// nested-loop reference join for cross-validation.
+func nestedLoopJoin(t *testing.T, left, right *Table, lOn, rOn core.List) []Row {
+	t.Helper()
+	lCols := make([]int, len(lOn))
+	rCols := make([]int, len(rOn))
+	for i := range lOn {
+		c, err := left.Col(lOn[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lCols[i] = c
+		c, err = right.Col(rOn[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rCols[i] = c
+	}
+	var out []Row
+	for i := 0; i < left.Len(); i++ {
+		for j := 0; j < right.Len(); j++ {
+			match := true
+			for k := range lCols {
+				if !left.Row(i)[lCols[k]].Equal(right.Row(j)[rCols[k]]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				row := append(left.Row(i).Clone(), right.Row(j)...)
+				out = append(out, row)
+			}
+		}
+	}
+	return out
+}
+
+func sortRows(rows []Row) {
+	lessRow := func(a, b Row) bool {
+		for i := range a {
+			if c := a[i].Compare(b[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && lessRow(rows[j], rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// TestJoinsAgree cross-validates merge join and hash join against a nested
+// loop on random inputs with duplicate keys on both sides.
+func TestJoinsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		left, err := NewTable("l", L("LK", "LV"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := NewTable("r", L("RK", "RV"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			left.Insert(core.Int(int64(rng.Intn(4))), core.Int(int64(i)))
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			right.Insert(core.Int(int64(rng.Intn(4))), core.Int(int64(100+i)))
+		}
+		want := nestedLoopJoin(t, left, right, L("LK"), L("RK"))
+
+		var s1 Stats
+		mergeRows, err := Run(NewMergeJoin(
+			NewSort(NewTableScan(left, &s1), L("LK"), &s1),
+			NewSort(NewTableScan(right, &s1), L("RK"), &s1),
+			L("LK"), L("RK"), &s1), &s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s2 Stats
+		hashRows, err := Run(NewHashJoin(
+			NewTableScan(left, &s2), NewTableScan(right, &s2),
+			L("LK"), L("RK"), &s2), &s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortRows(want)
+		sortRows(mergeRows)
+		sortRows(hashRows)
+		if !rowsEqual(mergeRows, want) {
+			t.Fatalf("merge join wrong:\ngot  %v\nwant %v", mergeRows, want)
+		}
+		if !rowsEqual(hashRows, want) {
+			t.Fatalf("hash join wrong:\ngot  %v\nwant %v", hashRows, want)
+		}
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	a := newTable(t, "a", L("K", "V"), []int64{1, 2})
+	b := newTable(t, "b", L("K", "W"), []int64{1, 3})
+	j := NewMergeJoin(NewTableScan(a, nil), NewTableScan(b, nil), L("K"), L("K"), nil)
+	if err := j.Open(); err == nil {
+		t.Error("overlapping schemas must fail")
+	}
+	c := newTable(t, "c", L("CK", "CV"), []int64{1, 3})
+	j2 := NewMergeJoin(NewTableScan(a, nil), NewTableScan(c, nil), L("K"), L("CK", "CV"), nil)
+	if err := j2.Open(); err == nil {
+		t.Error("key arity mismatch must fail")
+	}
+	h := NewHashJoin(NewTableScan(a, nil), NewTableScan(b, nil), L("K"), L("K"), nil)
+	if err := h.Open(); err == nil {
+		t.Error("hash join overlapping schemas must fail")
+	}
+}
+
+func TestStatsCost(t *testing.T) {
+	var s Stats
+	s.Add(Stats{RowsScanned: 1, Comparisons: 2, HashedRows: 3, IndexProbes: 4,
+		RowsOutput: 5, SortedRows: 6, Sorts: 7, JoinedRows: 8})
+	if s.Cost() != 1+2*2+3*3+5*4 {
+		t.Errorf("Cost = %d", s.Cost())
+	}
+	if s.RowsOutput != 5 || s.Sorts != 7 || s.JoinedRows != 8 || s.SortedRows != 6 {
+		t.Errorf("Add wrong: %+v", s)
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+)
+
+// CmpOp is a comparison operator for predicates.
+type CmpOp uint8
+
+// The supported comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator in SQL spelling.
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(o))
+	}
+}
+
+// Cond is one comparison between a column and a constant.
+type Cond struct {
+	Attr core.Attribute
+	Op   CmpOp
+	Val  core.Value
+}
+
+// String renders the condition.
+func (c Cond) String() string { return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Val) }
+
+// Holds evaluates the condition against a value.
+func (c Cond) Holds(v core.Value) bool {
+	cmp := v.Compare(c.Val)
+	switch c.Op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// The supported aggregates.
+const (
+	Count AggKind = iota
+	Sum
+	Min
+	Max
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// Agg is one aggregate over an input attribute, producing output attribute
+// As. Count ignores Attr.
+type Agg struct {
+	Kind AggKind
+	Attr core.Attribute
+	As   core.Attribute
+}
+
+// aggState folds values per group.
+type aggState struct {
+	kind  AggKind
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	ext   core.Value
+	has   bool
+}
+
+func (s *aggState) add(v core.Value) {
+	s.count++
+	switch s.kind {
+	case Sum:
+		if v.Kind == core.KindFloat {
+			s.isF = true
+			s.sumF += v.F
+		} else {
+			s.sumI += v.Int
+			s.sumF += float64(v.Int)
+		}
+	case Min:
+		if !s.has || v.Compare(s.ext) < 0 {
+			s.ext = v
+			s.has = true
+		}
+	case Max:
+		if !s.has || v.Compare(s.ext) > 0 {
+			s.ext = v
+			s.has = true
+		}
+	}
+}
+
+func (s *aggState) result() core.Value {
+	switch s.kind {
+	case Count:
+		return core.Int(s.count)
+	case Sum:
+		if s.isF {
+			return core.Float(s.sumF)
+		}
+		return core.Int(s.sumI)
+	default:
+		if !s.has {
+			return core.Null()
+		}
+		return s.ext
+	}
+}

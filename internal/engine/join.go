@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"odlib/internal/core"
+)
+
+// joinSchema concatenates the input schemas, requiring disjoint attribute
+// names (star schemas keep table prefixes, so this is the common case).
+func joinSchema(left, right Operator) (core.List, error) {
+	schema := left.Schema().Concat(right.Schema())
+	if schema.HasDuplicates() {
+		return nil, fmt.Errorf("engine: join inputs share attributes: %v and %v",
+			left.Schema(), right.Schema())
+	}
+	return schema, nil
+}
+
+// MergeJoin is an inner equality join over inputs that are each sorted on
+// their join keys. When a plan can obtain both orders for free (indexes,
+// order dependencies), the sort-merge join runs without sort operators —
+// one of the rewrite payoffs described in the paper's Section 2.3.
+type MergeJoin struct {
+	Left, Right   Operator
+	LeftOn        core.List
+	RightOn       core.List
+	Stats         *Stats
+	schema        core.List
+	lCols, rCols  []int
+	lRow          Row
+	lOK           bool
+	rGroup        []Row
+	rGroupKey     Row
+	rNext         Row
+	rOK           bool
+	groupPos      int
+	rightDone     bool
+	pendingResult Row
+}
+
+// NewMergeJoin builds a merge join of left and right on equality of the
+// respective key lists (which must have equal length).
+func NewMergeJoin(left, right Operator, leftOn, rightOn core.List, stats *Stats) *MergeJoin {
+	return &MergeJoin{Left: left, Right: right, LeftOn: leftOn, RightOn: rightOn, Stats: stats}
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() core.List {
+	if j.schema == nil {
+		s, err := joinSchema(j.Left, j.Right)
+		if err == nil {
+			j.schema = s
+		}
+	}
+	return j.schema
+}
+
+// Open implements Operator.
+func (j *MergeJoin) Open() error {
+	if len(j.LeftOn) != len(j.RightOn) {
+		return fmt.Errorf("engine: merge join key lists differ in length: %v vs %v", j.LeftOn, j.RightOn)
+	}
+	schema, err := joinSchema(j.Left, j.Right)
+	if err != nil {
+		return err
+	}
+	j.schema = schema
+	lpos, err := schemaPos(j.Left.Schema())
+	if err != nil {
+		return err
+	}
+	rpos, err := schemaPos(j.Right.Schema())
+	if err != nil {
+		return err
+	}
+	j.lCols, err = colsOf(j.Left.Schema(), lpos, j.LeftOn)
+	if err != nil {
+		return err
+	}
+	j.rCols, err = colsOf(j.Right.Schema(), rpos, j.RightOn)
+	if err != nil {
+		return err
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.lRow, j.lOK, err = j.nextLeft()
+	if err != nil {
+		return err
+	}
+	j.rightDone = false
+	j.rGroup = nil
+	j.groupPos = 0
+	j.rNext, j.rOK, err = j.Right.Next()
+	if err != nil {
+		return err
+	}
+	if j.rOK {
+		j.rNext = j.rNext.Clone()
+	}
+	return nil
+}
+
+func (j *MergeJoin) nextLeft() (Row, bool, error) {
+	row, ok, err := j.Left.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return row.Clone(), true, nil
+}
+
+// compareKeys compares a left row with a right row on the join keys.
+func (j *MergeJoin) compareKeys(l, r Row) int {
+	for k := range j.lCols {
+		if j.Stats != nil {
+			j.Stats.Comparisons++
+		}
+		if cmp := l[j.lCols[k]].Compare(r[j.rCols[k]]); cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
+// loadGroup gathers the run of right rows equal to the current left key.
+func (j *MergeJoin) loadGroup() error {
+	j.rGroup = j.rGroup[:0]
+	for j.rOK && j.compareKeys(j.lRow, j.rNext) == 0 {
+		j.rGroup = append(j.rGroup, j.rNext)
+		var err error
+		var row Row
+		row, j.rOK, err = j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if j.rOK {
+			j.rNext = row.Clone()
+		}
+	}
+	if len(j.rGroup) > 0 {
+		j.rGroupKey = j.rGroup[0]
+	}
+	j.groupPos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next() (Row, bool, error) {
+	for {
+		if j.groupPos < len(j.rGroup) {
+			// Emit current left row against the loaded right group.
+			out := make(Row, 0, len(j.lRow)+len(j.rGroup[j.groupPos]))
+			out = append(out, j.lRow...)
+			out = append(out, j.rGroup[j.groupPos]...)
+			j.groupPos++
+			if j.groupPos >= len(j.rGroup) {
+				// Advance left; if the key repeats, replay the group.
+				next, ok, err := j.nextLeft()
+				if err != nil {
+					return nil, false, err
+				}
+				if ok && len(j.rGroup) > 0 && j.sameLeftKey(next) {
+					j.lRow = next
+					j.groupPos = 0
+				} else {
+					j.lRow, j.lOK = next, ok
+					j.rGroup = j.rGroup[:0]
+				}
+			}
+			if j.Stats != nil {
+				j.Stats.JoinedRows++
+			}
+			return out, true, nil
+		}
+		if !j.lOK {
+			return nil, false, nil
+		}
+		// Advance the right side to the left key.
+		for j.rOK && j.compareKeys(j.lRow, j.rNext) > 0 {
+			var err error
+			var row Row
+			row, j.rOK, err = j.Right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if j.rOK {
+				j.rNext = row.Clone()
+			}
+		}
+		if j.rOK && j.compareKeys(j.lRow, j.rNext) == 0 {
+			if err := j.loadGroup(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// No right match for this left key; advance left.
+		var err error
+		j.lRow, j.lOK, err = j.nextLeft()
+		if err != nil {
+			return nil, false, err
+		}
+		if !j.lOK && !j.rOK {
+			return nil, false, nil
+		}
+	}
+}
+
+func (j *MergeJoin) sameLeftKey(next Row) bool {
+	for _, c := range j.lCols {
+		if j.Stats != nil {
+			j.Stats.Comparisons++
+		}
+		if !next[c].Equal(j.lRow[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// HashJoin is an inner equality join that builds a hash table on the right
+// input — the order-oblivious baseline join.
+type HashJoin struct {
+	Left, Right Operator
+	LeftOn      core.List
+	RightOn     core.List
+	Stats       *Stats
+
+	schema core.List
+	lCols  []int
+	table  map[string][]Row
+	lRow   Row
+	match  []Row
+	mPos   int
+}
+
+// NewHashJoin builds a hash join (build side: right).
+func NewHashJoin(left, right Operator, leftOn, rightOn core.List, stats *Stats) *HashJoin {
+	return &HashJoin{Left: left, Right: right, LeftOn: leftOn, RightOn: rightOn, Stats: stats}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() core.List {
+	if j.schema == nil {
+		s, err := joinSchema(j.Left, j.Right)
+		if err == nil {
+			j.schema = s
+		}
+	}
+	return j.schema
+}
+
+// Open builds the hash table from the right input.
+func (j *HashJoin) Open() error {
+	if len(j.LeftOn) != len(j.RightOn) {
+		return fmt.Errorf("engine: hash join key lists differ in length: %v vs %v", j.LeftOn, j.RightOn)
+	}
+	schema, err := joinSchema(j.Left, j.Right)
+	if err != nil {
+		return err
+	}
+	j.schema = schema
+	lpos, err := schemaPos(j.Left.Schema())
+	if err != nil {
+		return err
+	}
+	rpos, err := schemaPos(j.Right.Schema())
+	if err != nil {
+		return err
+	}
+	j.lCols, err = colsOf(j.Left.Schema(), lpos, j.LeftOn)
+	if err != nil {
+		return err
+	}
+	rCols, err := colsOf(j.Right.Schema(), rpos, j.RightOn)
+	if err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row)
+	for {
+		row, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := hashKey(row, rCols)
+		j.table[key] = append(j.table[key], row.Clone())
+		if j.Stats != nil {
+			j.Stats.HashedRows++
+		}
+	}
+	j.match = nil
+	j.mPos = 0
+	return j.Left.Open()
+}
+
+func hashKey(row Row, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		sb.WriteString(row[c].String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (Row, bool, error) {
+	for {
+		if j.mPos < len(j.match) {
+			out := make(Row, 0, len(j.lRow)+len(j.match[j.mPos]))
+			out = append(out, j.lRow...)
+			out = append(out, j.match[j.mPos]...)
+			j.mPos++
+			if j.Stats != nil {
+				j.Stats.JoinedRows++
+			}
+			return out, true, nil
+		}
+		row, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.lRow = row.Clone()
+		if j.Stats != nil {
+			j.Stats.HashedRows++ // probe cost
+		}
+		j.match = j.table[hashKey(row, j.lCols)]
+		j.mPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"odlib/internal/core"
+)
+
+// TableScan produces a table's rows in storage order.
+type TableScan struct {
+	Table *Table
+	Stats *Stats
+	pos   int
+}
+
+// NewTableScan builds a full scan of t.
+func NewTableScan(t *Table, stats *Stats) *TableScan {
+	return &TableScan{Table: t, Stats: stats}
+}
+
+// Schema implements Operator.
+func (s *TableScan) Schema() core.List { return s.Table.Schema() }
+
+// Open implements Operator.
+func (s *TableScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next() (Row, bool, error) {
+	if s.pos >= s.Table.Len() {
+		return nil, false, nil
+	}
+	row := s.Table.Row(s.pos)
+	s.pos++
+	if s.Stats != nil {
+		s.Stats.RowsScanned++
+	}
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *TableScan) Close() error { return nil }
+
+// IndexScan produces a table's rows in index-key order, optionally
+// restricted to an inclusive key-prefix range — the access path that makes
+// order "free" in the paper's plans.
+type IndexScan struct {
+	Index  *Index
+	Lo, Hi []core.Value // optional inclusive bounds over a key prefix
+	Stats  *Stats
+	pos    int
+	end    int
+}
+
+// NewIndexScan builds a full-order scan of the index.
+func NewIndexScan(ix *Index, stats *Stats) *IndexScan {
+	return &IndexScan{Index: ix, Stats: stats}
+}
+
+// NewIndexRangeScan builds an index scan over the inclusive key-prefix
+// bounds (either may be nil).
+func NewIndexRangeScan(ix *Index, lo, hi []core.Value, stats *Stats) *IndexScan {
+	return &IndexScan{Index: ix, Lo: lo, Hi: hi, Stats: stats}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() core.List { return s.Index.table.Schema() }
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	s.pos, s.end = s.Index.Range(s.Lo, s.Hi, s.Stats)
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (Row, bool, error) {
+	if s.pos >= s.end {
+		return nil, false, nil
+	}
+	row := s.Index.table.Row(s.Index.perm[s.pos])
+	s.pos++
+	if s.Stats != nil {
+		s.Stats.RowsScanned++
+	}
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { return nil }
+
+// FilterOp passes through rows satisfying all conditions (a conjunction).
+type FilterOp struct {
+	Input Operator
+	Conds []Cond
+	cols  []int
+}
+
+// NewFilter builds a conjunctive filter over the input.
+func NewFilter(input Operator, conds ...Cond) *FilterOp {
+	return &FilterOp{Input: input, Conds: conds}
+}
+
+// Schema implements Operator.
+func (f *FilterOp) Schema() core.List { return f.Input.Schema() }
+
+// Open implements Operator.
+func (f *FilterOp) Open() error {
+	schema := f.Input.Schema()
+	pos, err := schemaPos(schema)
+	if err != nil {
+		return err
+	}
+	f.cols = f.cols[:0]
+	for _, c := range f.Conds {
+		col, ok := pos[c.Attr]
+		if !ok {
+			return fmt.Errorf("engine: filter attribute %s not in schema %v", c.Attr, schema)
+		}
+		f.cols = append(f.cols, col)
+	}
+	return f.Input.Open()
+}
+
+// Next implements Operator.
+func (f *FilterOp) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass := true
+		for i, c := range f.Conds {
+			if !c.Holds(row[f.cols[i]]) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.Input.Close() }
+
+// ProjectOp narrows rows to the given attributes, in the given order.
+type ProjectOp struct {
+	Input Operator
+	Attrs core.List
+	cols  []int
+	buf   Row
+}
+
+// NewProject builds a projection.
+func NewProject(input Operator, attrs core.List) *ProjectOp {
+	return &ProjectOp{Input: input, Attrs: attrs}
+}
+
+// Schema implements Operator.
+func (p *ProjectOp) Schema() core.List { return p.Attrs }
+
+// Open implements Operator.
+func (p *ProjectOp) Open() error {
+	schema := p.Input.Schema()
+	pos, err := schemaPos(schema)
+	if err != nil {
+		return err
+	}
+	p.cols, err = colsOf(schema, pos, p.Attrs)
+	if err != nil {
+		return err
+	}
+	p.buf = make(Row, len(p.cols))
+	return p.Input.Open()
+}
+
+// Next implements Operator.
+func (p *ProjectOp) Next() (Row, bool, error) {
+	row, ok, err := p.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, c := range p.cols {
+		p.buf[i] = row[c]
+	}
+	return p.buf, true, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.Input.Close() }
+
+// LimitOp passes through at most N rows.
+type LimitOp struct {
+	Input Operator
+	N     int
+	seen  int
+}
+
+// NewLimit builds a limit.
+func NewLimit(input Operator, n int) *LimitOp { return &LimitOp{Input: input, N: n} }
+
+// Schema implements Operator.
+func (l *LimitOp) Schema() core.List { return l.Input.Schema() }
+
+// Open implements Operator.
+func (l *LimitOp) Open() error {
+	l.seen = 0
+	return l.Input.Open()
+}
+
+// Next implements Operator.
+func (l *LimitOp) Next() (Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close() error { return l.Input.Close() }
+
+// SortOp materializes its input and emits it ordered by the attribute list —
+// the operator that order-dependency rewrites remove from plans.
+type SortOp struct {
+	Input Operator
+	By    core.List
+	Stats *Stats
+	rows  []Row
+	pos   int
+}
+
+// NewSort builds a sort on the given list.
+func NewSort(input Operator, by core.List, stats *Stats) *SortOp {
+	return &SortOp{Input: input, By: by, Stats: stats}
+}
+
+// Schema implements Operator.
+func (s *SortOp) Schema() core.List { return s.Input.Schema() }
+
+// Open materializes and sorts the input.
+func (s *SortOp) Open() error {
+	schema := s.Input.Schema()
+	pos, err := schemaPos(schema)
+	if err != nil {
+		return err
+	}
+	cols, err := colsOf(schema, pos, s.By)
+	if err != nil {
+		return err
+	}
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	for {
+		row, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row.Clone())
+	}
+	if s.Stats != nil {
+		s.Stats.Sorts++
+		s.Stats.SortedRows += int64(len(s.rows))
+	}
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		return compareRows(s.rows[a], s.rows[b], cols, s.Stats) < 0
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}

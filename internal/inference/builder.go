@@ -1,0 +1,249 @@
+package inference
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+)
+
+// Builder incrementally constructs a Proof. Rule methods append steps and
+// return the new step's index, which later steps cite as premises.
+//
+// Builder has sticky-error semantics in the style of bufio.Writer: the first
+// rule violation (for example a Transitivity whose middle lists disagree)
+// records an error, every later call becomes a no-op returning an invalid
+// index, and Err surfaces the failure. This keeps multi-step derivations
+// readable without per-call error plumbing.
+//
+// Steps concluding an OD that was already derived are deduplicated: the
+// existing step index is returned, which keeps emitted proofs compact.
+type Builder struct {
+	proof Proof
+	memo  map[string]int
+	err   error
+	note  string
+}
+
+// NewBuilder starts a proof from the given assumptions.
+func NewBuilder(assumptions ...core.OD) *Builder {
+	b := &Builder{memo: make(map[string]int)}
+	b.proof.Assumptions = make([]core.OD, len(assumptions))
+	copy(b.proof.Assumptions, assumptions)
+	return b
+}
+
+// Err returns the first rule violation encountered, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Proof returns the constructed proof. It is invalid if Err is non-nil.
+func (b *Builder) Proof() *Proof { return &b.proof }
+
+// Note sets an annotation recorded on subsequently emitted steps, naming the
+// derived theorem being expanded. It returns b for chaining.
+func (b *Builder) Note(note string) *Builder {
+	b.note = note
+	return b
+}
+
+// Concl returns the OD concluded by step i.
+func (b *Builder) Concl(i int) core.OD {
+	if b.err != nil || i < 0 || i >= len(b.proof.Steps) {
+		return core.OD{}
+	}
+	return b.proof.Steps[i].Concl
+}
+
+func (b *Builder) fail(format string, args ...any) int {
+	if b.err == nil {
+		b.err = fmt.Errorf("inference: "+format, args...)
+	}
+	return -1
+}
+
+func (b *Builder) add(s Step) int {
+	if b.err != nil {
+		return -1
+	}
+	key := s.Concl.Key()
+	if i, ok := b.memo[key]; ok {
+		return i
+	}
+	s.Note = b.note
+	b.proof.Steps = append(b.proof.Steps, s)
+	i := len(b.proof.Steps) - 1
+	b.memo[key] = i
+	return i
+}
+
+// Restate re-emits the conclusion of step i as a fresh final step, as the
+// Transitivity X ↦ X, X ↦ Y ⊢ X ↦ Y. Unlike other rule methods it bypasses
+// conclusion deduplication, so the restated OD really becomes the last step.
+func (b *Builder) Restate(i int) int {
+	if b.err != nil {
+		return -1
+	}
+	concl := b.Concl(i)
+	if i == len(b.proof.Steps)-1 {
+		return i
+	}
+	self := b.Self(concl.LHS)
+	if b.err != nil {
+		return -1
+	}
+	b.proof.Steps = append(b.proof.Steps, Step{
+		Concl:    concl,
+		Rule:     Transitivity,
+		Premises: []int{self, i},
+		Note:     b.note,
+	})
+	return len(b.proof.Steps) - 1
+}
+
+// Assume introduces an assumption as a proof step.
+func (b *Builder) Assume(od core.OD) int {
+	if b.err != nil {
+		return -1
+	}
+	found := false
+	for _, a := range b.proof.Assumptions {
+		if a.Equal(od) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return b.fail("%s is not among the assumptions", od)
+	}
+	return b.add(Step{Concl: od, Rule: Assumption})
+}
+
+// Refl applies OD1, Reflexivity: ⊢ XY ↦ X.
+func (b *Builder) Refl(x, y core.List) int {
+	return b.add(Step{
+		Concl: core.NewOD(x.Concat(y), x),
+		Rule:  Reflexivity,
+		Lists: []core.List{x, y},
+	})
+}
+
+// Self derives X ↦ X (Reflexivity with an empty suffix).
+func (b *Builder) Self(x core.List) int { return b.Refl(x, nil) }
+
+// Pref applies OD2, Prefix: X ↦ Y ⊢ ZX ↦ ZY. An empty z returns the premise
+// unchanged.
+func (b *Builder) Pref(z core.List, prem int) int {
+	if b.err != nil {
+		return -1
+	}
+	if z.Empty() {
+		return prem
+	}
+	p := b.Concl(prem)
+	return b.add(Step{
+		Concl:    core.NewOD(z.Concat(p.LHS), z.Concat(p.RHS)),
+		Rule:     Prefix,
+		Premises: []int{prem},
+		Lists:    []core.List{z},
+	})
+}
+
+// NormFwd applies OD3, Normalization, forward: ⊢ MXYXN ↦ MXYN.
+func (b *Builder) NormFwd(m, x, y, n core.List) int {
+	return b.add(Step{
+		Concl: core.NewOD(m.Concat(x, y, x, n), m.Concat(x, y, n)),
+		Rule:  NormalizeFwd,
+		Lists: []core.List{m, x, y, n},
+	})
+}
+
+// NormBwd applies OD3 backward: ⊢ MXYN ↦ MXYXN.
+func (b *Builder) NormBwd(m, x, y, n core.List) int {
+	return b.add(Step{
+		Concl: core.NewOD(m.Concat(x, y, n), m.Concat(x, y, x, n)),
+		Rule:  NormalizeBwd,
+		Lists: []core.List{m, x, y, n},
+	})
+}
+
+// Tran applies OD4, Transitivity: X ↦ Y, Y ↦ Z ⊢ X ↦ Z.
+func (b *Builder) Tran(i, j int) int {
+	if b.err != nil {
+		return -1
+	}
+	p, q := b.Concl(i), b.Concl(j)
+	if !p.RHS.Equal(q.LHS) {
+		return b.fail("transitivity mismatch: %s then %s", p, q)
+	}
+	return b.add(Step{
+		Concl:    core.NewOD(p.LHS, q.RHS),
+		Rule:     Transitivity,
+		Premises: []int{i, j},
+	})
+}
+
+// TranChain chains Tran over several steps left to right.
+func (b *Builder) TranChain(steps ...int) int {
+	if len(steps) == 0 {
+		return b.fail("empty transitivity chain")
+	}
+	cur := steps[0]
+	for _, s := range steps[1:] {
+		cur = b.Tran(cur, s)
+	}
+	return cur
+}
+
+// SufFwd applies OD5, Suffix, forward: X ↦ Y ⊢ X ↦ YX.
+func (b *Builder) SufFwd(prem int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(prem)
+	return b.add(Step{
+		Concl:    core.NewOD(p.LHS, p.RHS.Concat(p.LHS)),
+		Rule:     SuffixFwd,
+		Premises: []int{prem},
+	})
+}
+
+// SufBwd applies OD5 backward: X ↦ Y ⊢ YX ↦ X.
+func (b *Builder) SufBwd(prem int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(prem)
+	return b.add(Step{
+		Concl:    core.NewOD(p.RHS.Concat(p.LHS), p.LHS),
+		Rule:     SuffixBwd,
+		Premises: []int{prem},
+	})
+}
+
+// Chain applies OD6. x, ys, z give the chain X ~ Y1 ~ … ~ Yn ~ Z; premises
+// must hold the defining ODs of the order-compatibility conditions in
+// canonical order: the pairs for X ~ Y1, Yi ~ Yi+1, Yn ~ Z, then XYi ~ YiZ
+// for each i. It returns the forward and backward halves of X ~ Z.
+func (b *Builder) Chain(x core.List, ys []core.List, z core.List, premises []int) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	if len(ys) == 0 {
+		b.fail("chain needs at least one intermediate list")
+		return -1, -1
+	}
+	lists := append([]core.List{x}, ys...)
+	lists = append(lists, z)
+	fwd := b.add(Step{
+		Concl:    core.NewOD(x.Concat(z), z.Concat(x)),
+		Rule:     ChainFwd,
+		Premises: premises,
+		Lists:    lists,
+	})
+	bwd := b.add(Step{
+		Concl:    core.NewOD(z.Concat(x), x.Concat(z)),
+		Rule:     ChainBwd,
+		Premises: premises,
+		Lists:    lists,
+	})
+	return fwd, bwd
+}

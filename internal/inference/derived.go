@@ -1,0 +1,487 @@
+package inference
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+)
+
+// This file implements the paper's derived theorems (Section 3.3 and
+// Section 4) as Builder methods that expand into primitive axiom steps.
+// Every method returns step indices whose conclusions follow from the
+// premises using only OD1–OD6; Proof.Verify re-checks the expansion.
+
+// Union is Theorem 2: X ↦ Y, X ↦ Z ⊢ X ↦ YZ.
+func (b *Builder) Union(i, j int) int {
+	if b.err != nil {
+		return -1
+	}
+	p, q := b.Concl(i), b.Concl(j)
+	if !p.LHS.Equal(q.LHS) {
+		return b.fail("union premises must share a left-hand side: %s vs %s", p, q)
+	}
+	sf := b.SufFwd(i)      // X ↦ YX
+	pr := b.Pref(p.RHS, j) // YX ↦ YZ
+	return b.Tran(sf, pr)  // X ↦ YZ
+}
+
+// Augment is Theorem 3: X ↦ Y ⊢ XZ ↦ Y.
+func (b *Builder) Augment(i int, z core.List) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(i)
+	r := b.Refl(p.LHS, z) // XZ ↦ X
+	return b.Tran(r, i)   // XZ ↦ Y
+}
+
+// Decompose is Theorem 5: X ↦ YZ ⊢ X ↦ Y, where Y is the length-k prefix of
+// the premise's right-hand side.
+func (b *Builder) Decompose(i int, k int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(i)
+	if k < 0 || k > len(p.RHS) {
+		return b.fail("decompose prefix %d out of range for %s", k, p)
+	}
+	y, z := p.RHS.Prefix(k), p.RHS.Suffix(k)
+	r := b.Refl(y, z)   // YZ ↦ Y
+	return b.Tran(i, r) // X ↦ Y
+}
+
+// Absorb derives W ↔ WV from W ↦ V (the prefix-absorption equivalence used
+// throughout the paper's proofs). It returns (W ↦ WV, WV ↦ W).
+func (b *Builder) Absorb(i int) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	p := b.Concl(i)
+	w, v := p.LHS, p.RHS
+	a := b.Pref(w, i)                 // WW ↦ WV
+	nb := b.NormBwd(nil, w, nil, nil) // W ↦ WW
+	fwd := b.Tran(nb, a)              // W ↦ WV
+	bwd := b.Refl(w, v)               // WV ↦ W
+	return fwd, bwd
+}
+
+// suffixEquivOne derives VZ ↦ WZ from V ↔ W, given as the steps fv: V ↦ W
+// and bv: W ↦ V. This is the engine behind Shift and Replace: an order
+// equivalence may be extended by a common suffix.
+func (b *Builder) suffixEquivOne(fv, bv int, z core.List) int {
+	if b.err != nil {
+		return -1
+	}
+	v, w := b.Concl(fv).LHS, b.Concl(fv).RHS
+	if !b.Concl(bv).LHS.Equal(w) || !b.Concl(bv).RHS.Equal(v) {
+		return b.fail("equivalence premises disagree: %s and %s", b.Concl(fv), b.Concl(bv))
+	}
+	if z.Empty() {
+		return fv
+	}
+	if v.Equal(w) {
+		return b.Self(v.Concat(z))
+	}
+	vz := v.Concat(z)
+
+	a := b.Refl(v, z)   // VZ ↦ V
+	a2 := b.Tran(a, fv) // VZ ↦ W
+	c := b.SufFwd(a2)   // VZ ↦ WVZ
+
+	d1 := b.Refl(w, vz)          // WVZ ↦ W
+	d2 := b.Tran(d1, bv)         // WVZ ↦ V
+	e := b.SufFwd(d2)            // WVZ ↦ VWVZ
+	f := b.NormFwd(nil, v, w, z) // VWVZ ↦ VWZ
+	g := b.Tran(e, f)            // WVZ ↦ VWZ
+
+	h1 := b.Refl(w, z)   // WZ ↦ W
+	h2 := b.Tran(h1, bv) // WZ ↦ V
+	h3 := b.SufBwd(h2)   // VWZ ↦ WZ
+
+	return b.TranChain(c, g, h3) // VZ ↦ WZ
+}
+
+// SuffixEquiv derives VZ ↔ WZ from V ↔ W. The equivalence is given as the
+// steps fv: V ↦ W and bv: W ↦ V; the result is the pair
+// (VZ ↦ WZ, WZ ↦ VZ).
+func (b *Builder) SuffixEquiv(fv, bv int, z core.List) (int, int) {
+	fwd := b.suffixEquivOne(fv, bv, z)
+	bwd := b.suffixEquivOne(bv, fv, z)
+	return fwd, bwd
+}
+
+// Shift is Theorem 4: V ↔ W, X ↦ Y ⊢ VX ↦ WY. The equivalence is given as
+// the steps fv: V ↦ W and bv: W ↦ V; od is the step X ↦ Y.
+func (b *Builder) Shift(fv, bv, od int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(od)
+	w := b.Concl(fv).RHS
+	s1 := b.suffixEquivOne(fv, bv, p.LHS) // VX ↦ WX
+	s2 := b.Pref(w, od)                   // WX ↦ WY
+	return b.Tran(s1, s2)                 // VX ↦ WY
+}
+
+// Replace is Theorem 6: P ↔ Q ⊢ MPN ↔ MQN — an order equivalence may be
+// substituted within any list context. The equivalence is given as the steps
+// fe: P ↦ Q and be: Q ↦ P; the result is (MPN ↦ MQN, MQN ↦ MPN).
+func (b *Builder) Replace(fe, be int, m, n core.List) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	f1 := b.suffixEquivOne(fe, be, n) // PN ↦ QN
+	b1 := b.suffixEquivOne(be, fe, n) // QN ↦ PN
+	return b.Pref(m, f1), b.Pref(m, b1)
+}
+
+// Eliminate is Theorem 7: X ↦ Y ⊢ MXYN ↔ MXN — a segment ordered by its
+// immediate predecessor may be dropped. It returns
+// (MXYN ↦ MXN, MXN ↦ MXYN).
+func (b *Builder) Eliminate(i int, m, n core.List) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	af, ab := b.Absorb(i)          // X ↔ XY
+	return b.Replace(ab, af, m, n) // M(XY)N ↔ M(X)N
+}
+
+// LeftEliminate is Theorem 8: X ↦ Y ⊢ MYXN ↔ MXN — a segment ordered by its
+// immediate successor may be dropped. It returns (MYXN ↦ MXN, MXN ↦ MYXN).
+func (b *Builder) LeftEliminate(i int, m, n core.List) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	sf := b.SufFwd(i)              // X ↦ YX
+	sb := b.SufBwd(i)              // YX ↦ X
+	return b.Replace(sb, sf, m, n) // M(YX)N ↔ M(X)N
+}
+
+// NormalForm derives L ↔ normalize(L) by iterated Normalization: every
+// attribute occurrence after the first is dropped. It returns
+// (L ↦ norm, norm ↦ L).
+func (b *Builder) NormalForm(l core.List) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	fwd := b.Self(l)
+	bwd := fwd
+	cur := l
+	for {
+		j := firstDuplicate(cur)
+		if j < 0 {
+			return fwd, bwd
+		}
+		i := cur.Index(cur[j])
+		m, x, y, n := cur.Prefix(i), core.List{cur[j]}, cur[i+1:j], cur.Suffix(j+1)
+		fStep := b.NormFwd(m, x, y, n) // cur ↦ next
+		bStep := b.NormBwd(m, x, y, n) // next ↦ cur
+		fwd = b.Tran(fwd, fStep)
+		bwd = b.Tran(bStep, bwd)
+		cur = m.Concat(x, y, n)
+	}
+}
+
+func firstDuplicate(l core.List) int {
+	seen := make(map[core.Attribute]bool, len(l))
+	for i, a := range l {
+		if seen[a] {
+			return i
+		}
+		seen[a] = true
+	}
+	return -1
+}
+
+// EquivByNormalForm derives P ↦ Q for any two lists with equal normal forms
+// (for example the two sides of the paper's Partition conclusion after
+// deduplication).
+func (b *Builder) EquivByNormalForm(p, q core.List) int {
+	if b.err != nil {
+		return -1
+	}
+	np := p.Normalize()
+	if !np.Equal(q.Normalize()) {
+		return b.fail("normal forms differ: %v vs %v", p, q)
+	}
+	pf, _ := b.NormalForm(p)
+	_, qb := b.NormalForm(q)
+	return b.Tran(pf, qb) // P ↦ norm ↦ Q
+}
+
+// Drop is Theorem 9: X ↦ WYZ, W ↔ WY ⊢ X ↦ WZ — tail attributes that the
+// preceding prefix already determines to a tie may be cut out of the middle.
+// Step i concludes X ↦ WYZ with |W| = wlen and |Y| = ylen; fe and be give
+// the equivalence W ↦ WY and WY ↦ W.
+func (b *Builder) Drop(i, fe, be int, wlen, ylen int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(i)
+	if wlen+ylen > len(p.RHS) {
+		return b.fail("drop split %d+%d exceeds %s", wlen, ylen, p)
+	}
+	w := p.RHS.Prefix(wlen)
+	y := p.RHS[wlen : wlen+ylen]
+	z := p.RHS.Suffix(wlen + ylen)
+	wy := w.Concat(y)
+	if !b.Concl(fe).Equal(core.NewOD(w, wy)) || !b.Concl(be).Equal(core.NewOD(wy, w)) {
+		return b.fail("drop equivalence premises must be %v ↔ %v", w, wy)
+	}
+	repF, _ := b.Replace(be, fe, nil, z) // WYZ ↦ WZ
+	return b.Tran(i, repF)               // X ↦ WZ
+}
+
+// Partition is Theorem 11: W ↦ P, W ↦ Q with set(P) = set(Q) ⊢ P ↔ Q. The
+// derivation routes through the Chain axiom with the one-link chain
+// P ~ W ~ Q, exactly as in the paper. It returns (P ↦ Q, Q ↦ P).
+func (b *Builder) Partition(i, j int) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	pi, pj := b.Concl(i), b.Concl(j)
+	if !pi.LHS.Equal(pj.LHS) {
+		return b.fail("partition premises must share a left-hand side: %s vs %s", pi, pj), -1
+	}
+	w, p, q := pi.LHS, pi.RHS, pj.RHS
+	if !p.SetEqual(q) {
+		return b.fail("partition needs set(P) = set(Q): %v vs %v", p, q), -1
+	}
+
+	// P ~ W: PW ↦ WP and WP ↦ PW.
+	s1 := b.SufFwd(i)                  // W ↦ PW
+	s2 := b.SufBwd(i)                  // PW ↦ W
+	e1, e2 := b.Eliminate(i, nil, nil) // WP ↦ W, W ↦ WP
+	pwWP := b.Tran(s2, e2)             // PW ↦ WP
+	wpPW := b.Tran(e1, s1)             // WP ↦ PW
+
+	// W ~ Q: WQ ↦ QW and QW ↦ WQ.
+	t1 := b.SufFwd(j)                  // W ↦ QW
+	t2 := b.SufBwd(j)                  // QW ↦ W
+	u1, u2 := b.Eliminate(j, nil, nil) // WQ ↦ W, W ↦ WQ
+	wqQW := b.Tran(u1, t1)             // WQ ↦ QW
+	qwWQ := b.Tran(t2, u2)             // QW ↦ WQ
+
+	// PW ~ WQ, forward: PWWQ ↦ WQPW.
+	n1 := b.NormFwd(p, w, nil, q)                // PWWQ ↦ PWQ
+	r1, _ := b.Replace(pwWP, wpPW, nil, q)       // PWQ ↦ WPQ
+	r2, _ := b.Replace(u2, u1, nil, p.Concat(q)) // WPQ ↦ WQPQ
+	n2 := b.NormFwd(w, q, p, nil)                // WQPQ ↦ WQP
+	n3 := b.NormBwd(nil, w, q.Concat(p), nil)    // WQP ↦ WQPW
+	ocF := b.TranChain(n1, r1, r2, n2, n3)       // PWWQ ↦ WQPW
+
+	// PW ~ WQ, backward: WQPW ↦ PWWQ.
+	af, ab := b.Absorb(i)                        // W ↔ WP
+	m1 := b.NormFwd(nil, w, q.Concat(p), nil)    // WQPW ↦ WQP
+	m2, _ := b.Replace(af, ab, nil, q.Concat(p)) // WQP ↦ WPQP
+	m3 := b.NormFwd(w, p, q, nil)                // WPQP ↦ WPQ
+	m4, _ := b.Replace(wpPW, pwWP, nil, q)       // WPQ ↦ PWQ
+	m5 := b.NormBwd(p, w, nil, q)                // PWQ ↦ PWWQ
+	ocB := b.TranChain(m1, m2, m3, m4, m5)       // WQPW ↦ PWWQ
+
+	// Chain with the one-link chain P ~ W ~ Q.
+	chF, chB := b.Chain(p, []core.List{w}, q,
+		[]int{pwWP, wpPW, wqQW, qwWQ, ocF, ocB}) // PQ ↦ QP, QP ↦ PQ
+
+	// Normalize both sides down to P and Q.
+	pPQ := b.EquivByNormalForm(p, p.Concat(q)) // P ↦ PQ (set(P) = set(Q))
+	qpQ := b.EquivByNormalForm(q.Concat(p), q) // QP ↦ Q
+	fwd := b.TranChain(pPQ, chF, qpQ)          // P ↦ Q
+	qQP := b.EquivByNormalForm(q, q.Concat(p)) // Q ↦ QP
+	pqP := b.EquivByNormalForm(p.Concat(q), p) // PQ ↦ P
+	bwd := b.TranChain(qQP, chB, pqP)          // Q ↦ P
+	return fwd, bwd
+}
+
+// DownwardClosure is Theorem 12: XV ~ YW ⊢ X ~ Y — order compatibility
+// restricts to prefixes. The compatibility premise is given by its defining
+// ODs fo: (XV)(YW) ↦ (YW)(XV) and bo: the reverse; xvLen and xLen identify
+// XV and X within fo's left side, ywLen's analogue for Y is yLen within the
+// remainder. It returns (XY ↦ YX, YX ↦ XY).
+func (b *Builder) DownwardClosure(fo, bo int, xvLen, xLen, yLen int) (int, int) {
+	if b.err != nil {
+		return -1, -1
+	}
+	l := b.Concl(fo).LHS // XV YW
+	r := b.Concl(fo).RHS // YW XV
+	if xvLen > len(l) || xLen > xvLen {
+		return b.fail("downward closure: bad prefix lengths"), -1
+	}
+	xv := l.Prefix(xvLen)
+	yw := l.Suffix(xvLen)
+	if yLen > len(yw) {
+		return b.fail("downward closure: yLen exceeds %v", yw), -1
+	}
+	if !r.Equal(yw.Concat(xv)) {
+		return b.fail("downward closure premise is not an order-compatibility pair: %s", b.Concl(fo)), -1
+	}
+	x := xv.Prefix(xLen)
+	y := yw.Prefix(yLen)
+
+	a := b.Refl(x, l.Suffix(xLen))  // XVYW ↦ X
+	bb := b.Refl(y, r.Suffix(yLen)) // YWXV ↦ Y
+	c := b.Tran(fo, bb)             // XVYW ↦ Y
+	d := b.Tran(bo, a)              // YWXV ↦ X
+	e := b.Union(a, c)              // XVYW ↦ XY
+	f := b.Union(bb, d)             // YWXV ↦ YX
+	g := b.Tran(fo, f)              // XVYW ↦ YX
+	return b.Partition(e, g)        // XY ↔ YX
+}
+
+// SubstitutePrefix derives X ↦ V′T from X ↦ VT and V ↔ V′ — the engine of
+// Theorem 10 (Path): a list on the right-hand side may be rewritten along an
+// equivalent path node by node. Step i concludes X ↦ VT with |V| = vLen; fe
+// and be give V ↦ V′ and V′ ↦ V.
+func (b *Builder) SubstitutePrefix(i, fe, be int, vLen int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(i)
+	if vLen > len(p.RHS) {
+		return b.fail("substitute prefix %d exceeds %s", vLen, p)
+	}
+	v := p.RHS.Prefix(vLen)
+	t := p.RHS.Suffix(vLen)
+	if !b.Concl(fe).LHS.Equal(v) {
+		return b.fail("equivalence %s does not start at %v", b.Concl(fe), v)
+	}
+	rep, _ := b.Replace(fe, be, nil, t) // VT ↦ V′T
+	return b.Tran(i, rep)
+}
+
+// Path is Theorem 10 in the form used by the date/time hierarchy of
+// Figure 2: X ↦ VT, V ↔ VA ⊢ X ↦ VAT — an attribute list A that is
+// order-redundant at node V may be spliced into the path after V. Step i
+// concludes X ↦ VT with |V| = vLen; fe and be give V ↦ VA and VA ↦ V.
+func (b *Builder) Path(i, fe, be int, vLen int) int {
+	return b.SubstitutePrefix(i, fe, be, vLen)
+}
+
+// Theorem15Fwd decomposes X ↦ Y (step i) into its FD part and its
+// order-compatibility part: it returns steps concluding X ↦ XY, XY ↦ YX and
+// YX ↦ XY (Theorem 15, only-if direction).
+func (b *Builder) Theorem15Fwd(i int) (fdForm, ocF, ocB int) {
+	if b.err != nil {
+		return -1, -1, -1
+	}
+	p := b.Concl(i)
+	x, y := p.LHS, p.RHS
+	fdForm = b.Union(b.Self(x), i) // X ↦ XY
+	sf := b.SufFwd(i)              // X ↦ YX
+	sb := b.SufBwd(i)              // YX ↦ X
+	r := b.Refl(x, y)              // XY ↦ X
+	ocF = b.Tran(r, sf)            // XY ↦ YX
+	ocB = b.Tran(sb, fdForm)       // YX ↦ XY
+	return fdForm, ocF, ocB
+}
+
+// Theorem15Bwd recombines the two halves: X ↦ XY (step fdForm) and XY ↦ YX
+// (step ocF) yield X ↦ Y (Theorem 15, if direction).
+func (b *Builder) Theorem15Bwd(fdForm, ocF int) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(fdForm)
+	x := p.LHS
+	if !p.RHS.HasPrefix(x) {
+		return b.fail("step %s is not in FD form", p)
+	}
+	y := p.RHS.Suffix(len(x))
+	if !b.Concl(ocF).Equal(core.NewOD(x.Concat(y), y.Concat(x))) {
+		return b.fail("step %s is not the matching order-compatibility half", b.Concl(ocF))
+	}
+	t := b.Tran(fdForm, ocF) // X ↦ YX
+	r := b.Refl(y, x)        // YX ↦ Y
+	return b.Tran(t, r)      // X ↦ Y
+}
+
+// PermutationFD is Theorem 14: X ↦ XY ⊢ X′ ↦ X′Y′ for any duplicate-free
+// reordering X′ of set(X) and Y′ of set(Y). This is completeness over FDs in
+// OD clothing (Theorem 16): the FD set(X) → set(Y) does not care how either
+// side is ordered.
+func (b *Builder) PermutationFD(i int, xp, yp core.List) int {
+	if b.err != nil {
+		return -1
+	}
+	p := b.Concl(i)
+	x := p.LHS
+	if !p.RHS.HasPrefix(x) {
+		return b.fail("permutation premise %s is not in FD form", p)
+	}
+	y := p.RHS.Suffix(len(x))
+	if xp.HasDuplicates() || !xp.SetEqual(x) {
+		return b.fail("X′ = %v must be a duplicate-free reordering of set(%v)", xp, x)
+	}
+	if yp.HasDuplicates() || !yp.Set().SubsetOf(x.Set().Union(y.Set())) {
+		return b.fail("Y′ = %v must draw on set(%v)", yp, p.RHS)
+	}
+
+	// Derive X′ ↦ X′[A] for one attribute A.
+	single := func(a core.Attribute) int {
+		if xp.Contains(a) {
+			return b.EquivByNormalForm(xp, xp.Concat(core.List{a}))
+		}
+		k := y.Index(a) + 1 // first occurrence of A within Y, 1-based
+		if k == 0 {
+			return b.fail("attribute %s not found in %v", a, y)
+		}
+		decK := b.Decompose(i, len(x)+k)              // X ↦ X·Y[1..k]
+		decK1 := b.Decompose(i, len(x)+k-1)           // X ↦ X·Y[1..k-1]
+		xpxF := b.EquivByNormalForm(xp, xp.Concat(x)) // X′ ↦ X′X
+		p1 := b.Pref(xp, decK)                        // X′X ↦ X′XY[1..k]
+		dk := b.Tran(xpxF, p1)                        // X′ ↦ X′XY[1..k]
+		p2 := b.Pref(xp, decK1)                       // X′X ↦ X′XY[1..k-1]
+		dk1 := b.Tran(xpxF, p2)                       // X′ ↦ X′XY[1..k-1]
+		refl := b.Refl(xp, x.Concat(y.Prefix(k-1)))   // X′XY[1..k-1] ↦ X′
+		// Drop the middle X·Y[1..k-1], keeping the final A.
+		return b.Drop(dk, dk1, refl, len(xp), len(x)+k-1) // X′ ↦ X′[A]
+	}
+
+	cur := b.Self(xp)
+	s := xp
+	for _, a := range yp {
+		sa := single(a)
+		u := b.Union(cur, sa) // X′ ↦ S·X′·[A]
+		next := s.Concat(xp, core.List{a})
+		target := next.Normalize()
+		nf, _ := b.NormalForm(next)
+		cur = b.Tran(u, nf) // X′ ↦ normalize(S X′ A)
+		s = target
+	}
+	// Bridge from the accumulated normal form to the requested X′Y′.
+	goal := xp.Concat(yp)
+	if s.Equal(goal) {
+		return cur
+	}
+	if !s.Equal(goal.Normalize()) {
+		return b.fail("internal: accumulated %v does not normalize to %v", s, goal)
+	}
+	_, gb := b.NormalForm(goal) // normalize(X′Y′) ↦ X′Y′
+	return b.Tran(cur, gb)
+}
+
+// ProveTheorem builds a standalone proof of the conclusion of a derived
+// theorem from the given assumptions, returning the verified proof. It is a
+// convenience for callers that want proof objects rather than builder
+// plumbing.
+func ProveTheorem(assumptions []core.OD, derive func(*Builder) int) (*Proof, error) {
+	b := NewBuilder(assumptions...)
+	last := derive(b)
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	if last < 0 || last >= len(b.proof.Steps) {
+		return nil, fmt.Errorf("inference: derivation returned invalid step %d", last)
+	}
+	// Restate the conclusion as the final step so Proof.Conclusion reports
+	// it; memoized builders may have derived it early.
+	b.Restate(last)
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	p := b.Proof()
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,570 @@
+package inference
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+func L(attrs ...string) core.List { return core.L(attrs...) }
+
+// checkDerivation builds a derivation from assumptions, verifies the emitted
+// proof mechanically, checks the concluding OD, and confirms soundness
+// semantically via the complete prover (assumptions ⊨ conclusion).
+func checkDerivation(t *testing.T, assumptions []core.OD, want core.OD, derive func(*Builder) int) {
+	t.Helper()
+	b := NewBuilder(assumptions...)
+	last := derive(b)
+	if err := b.Err(); err != nil {
+		t.Fatalf("builder error: %v", err)
+	}
+	got := b.Concl(last)
+	if !got.Equal(want) {
+		t.Fatalf("derived %s, want %s\n%s", got, want, b.Proof())
+	}
+	if err := b.Proof().Verify(); err != nil {
+		t.Fatalf("proof fails verification: %v\n%s", err, b.Proof())
+	}
+	p := prover.New(assumptions)
+	ok, err := p.Implies(want)
+	if err != nil {
+		t.Fatalf("prover error: %v", err)
+	}
+	if !ok {
+		t.Fatalf("unsound derivation: %s does not imply %s", core.ODsString(assumptions), want)
+	}
+}
+
+func TestAxiomSteps(t *testing.T) {
+	b := NewBuilder(core.NewOD(L("A"), L("B")))
+	i := b.Assume(core.NewOD(L("A"), L("B")))
+	if b.Refl(L("A"), L("B")) < 0 {
+		t.Fatal("Refl failed")
+	}
+	if got := b.Concl(b.Refl(L("A"), L("B"))); !got.Equal(core.NewOD(L("A", "B"), L("A"))) {
+		t.Errorf("Refl conclusion = %s", got)
+	}
+	if got := b.Concl(b.Pref(L("Z"), i)); !got.Equal(core.NewOD(L("Z", "A"), L("Z", "B"))) {
+		t.Errorf("Pref conclusion = %s", got)
+	}
+	if got := b.Concl(b.SufFwd(i)); !got.Equal(core.NewOD(L("A"), L("B", "A"))) {
+		t.Errorf("SufFwd conclusion = %s", got)
+	}
+	if got := b.Concl(b.SufBwd(i)); !got.Equal(core.NewOD(L("B", "A"), L("A"))) {
+		t.Errorf("SufBwd conclusion = %s", got)
+	}
+	if got := b.Concl(b.NormFwd(L("M"), L("X"), L("Y"), L("N"))); !got.Equal(
+		core.NewOD(L("M", "X", "Y", "X", "N"), L("M", "X", "Y", "N"))) {
+		t.Errorf("NormFwd conclusion = %s", got)
+	}
+	if err := b.Proof().Verify(); err != nil {
+		t.Fatalf("axiom steps fail verification: %v", err)
+	}
+}
+
+func TestBuilderStickyError(t *testing.T) {
+	b := NewBuilder()
+	i := b.Self(L("A"))
+	j := b.Self(L("B"))
+	if b.Tran(i, j) != -1 || b.Err() == nil {
+		t.Fatal("mismatched Tran should set the sticky error")
+	}
+	// Every later call is a no-op.
+	if b.Refl(L("A"), nil) != -1 {
+		t.Error("calls after error should return -1")
+	}
+	if b.Assume(core.NewOD(L("A"), L("B"))) != -1 {
+		t.Error("assume after error should return -1")
+	}
+}
+
+func TestAssumeRejectsUnknown(t *testing.T) {
+	b := NewBuilder(core.NewOD(L("A"), L("B")))
+	if b.Assume(core.NewOD(L("B"), L("A"))) != -1 || b.Err() == nil {
+		t.Error("assuming a non-assumption must fail")
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	mk := func() *Builder {
+		b := NewBuilder(core.NewOD(L("A"), L("B")))
+		i := b.Assume(core.NewOD(L("A"), L("B")))
+		b.SufFwd(i)
+		return b
+	}
+	// Tamper with a conclusion.
+	b := mk()
+	b.proof.Steps[1].Concl = core.NewOD(L("A"), L("A", "B"))
+	if err := b.Proof().Verify(); err == nil {
+		t.Error("tampered conclusion must fail verification")
+	}
+	// Tamper with a premise index (forward reference).
+	b = mk()
+	b.proof.Steps[0].Rule = Transitivity
+	b.proof.Steps[0].Premises = []int{1, 1}
+	if err := b.Proof().Verify(); err == nil {
+		t.Error("forward premise reference must fail verification")
+	}
+	// Unknown rule.
+	b = mk()
+	b.proof.Steps[1].Rule = Rule(250)
+	if err := b.Proof().Verify(); err == nil {
+		t.Error("unknown rule must fail verification")
+	}
+	// Reflexivity with wrong instantiation lists.
+	b = mk()
+	b.proof.Steps = append(b.proof.Steps, Step{
+		Concl: core.NewOD(L("A", "B"), L("B")),
+		Rule:  Reflexivity,
+		Lists: []core.List{L("A"), L("B")},
+	})
+	if err := b.Proof().Verify(); err == nil {
+		t.Error("wrong reflexivity instance must fail verification")
+	}
+}
+
+func TestUnionTheorem2(t *testing.T) {
+	x, y, z := L("A"), L("B"), L("C")
+	asm := []core.OD{core.NewOD(x, y), core.NewOD(x, z)}
+	checkDerivation(t, asm, core.NewOD(x, y.Concat(z)), func(b *Builder) int {
+		return b.Union(b.Assume(asm[0]), b.Assume(asm[1]))
+	})
+}
+
+func TestAugmentTheorem3(t *testing.T) {
+	asm := []core.OD{core.NewOD(L("A"), L("B"))}
+	checkDerivation(t, asm, core.NewOD(L("A", "C", "D"), L("B")), func(b *Builder) int {
+		return b.Augment(b.Assume(asm[0]), L("C", "D"))
+	})
+}
+
+func TestDecomposeTheorem5(t *testing.T) {
+	asm := []core.OD{core.NewOD(L("A"), L("B", "C", "D"))}
+	checkDerivation(t, asm, core.NewOD(L("A"), L("B", "C")), func(b *Builder) int {
+		return b.Decompose(b.Assume(asm[0]), 2)
+	})
+	b := NewBuilder(asm...)
+	if b.Decompose(b.Assume(asm[0]), 9) != -1 || b.Err() == nil {
+		t.Error("out-of-range decompose must fail")
+	}
+}
+
+func TestShiftTheorem4(t *testing.T) {
+	v, w := L("V"), L("W")
+	x, y := L("X"), L("Y")
+	asm := []core.OD{
+		core.NewOD(v, w), core.NewOD(w, v), core.NewOD(x, y),
+	}
+	checkDerivation(t, asm, core.NewOD(v.Concat(x), w.Concat(y)), func(b *Builder) int {
+		return b.Shift(b.Assume(asm[0]), b.Assume(asm[1]), b.Assume(asm[2]))
+	})
+}
+
+func TestReplaceTheorem6(t *testing.T) {
+	p, q := L("P1", "P2"), L("Q")
+	m, n := L("M"), L("N1", "N2")
+	asm := []core.OD{core.NewOD(p, q), core.NewOD(q, p)}
+	wantF := core.NewOD(m.Concat(p, n), m.Concat(q, n))
+	checkDerivation(t, asm, wantF, func(b *Builder) int {
+		f, _ := b.Replace(b.Assume(asm[0]), b.Assume(asm[1]), m, n)
+		return f
+	})
+	checkDerivation(t, asm, wantF.Reverse(), func(b *Builder) int {
+		_, r := b.Replace(b.Assume(asm[0]), b.Assume(asm[1]), m, n)
+		return r
+	})
+}
+
+func TestEliminateTheorem7(t *testing.T) {
+	// The paper's running example: month ↦ quarter lets us drop quarter
+	// right after month.
+	asm := []core.OD{core.NewOD(L("mo"), L("q"))}
+	want := core.NewOD(L("y", "mo", "q", "d"), L("y", "mo", "d"))
+	checkDerivation(t, asm, want, func(b *Builder) int {
+		f, _ := b.Eliminate(b.Assume(asm[0]), L("y"), L("d"))
+		return f
+	})
+	checkDerivation(t, asm, want.Reverse(), func(b *Builder) int {
+		_, r := b.Eliminate(b.Assume(asm[0]), L("y"), L("d"))
+		return r
+	})
+}
+
+func TestLeftEliminateTheorem8(t *testing.T) {
+	// Example 1: ORDER BY year, quarter, month reduces to year, month.
+	asm := []core.OD{core.NewOD(L("month"), L("quarter"))}
+	want := core.NewOD(L("year", "quarter", "month"), L("year", "month"))
+	checkDerivation(t, asm, want, func(b *Builder) int {
+		f, _ := b.LeftEliminate(b.Assume(asm[0]), L("year"), nil)
+		return f
+	})
+	checkDerivation(t, asm, want.Reverse(), func(b *Builder) int {
+		_, r := b.LeftEliminate(b.Assume(asm[0]), L("year"), nil)
+		return r
+	})
+}
+
+func TestNormalForm(t *testing.T) {
+	l := L("A", "B", "A", "C", "B", "A")
+	checkDerivation(t, nil, core.NewOD(l, L("A", "B", "C")), func(b *Builder) int {
+		f, _ := b.NormalForm(l)
+		return f
+	})
+	checkDerivation(t, nil, core.NewOD(L("A", "B", "C"), l), func(b *Builder) int {
+		_, r := b.NormalForm(l)
+		return r
+	})
+	// Already normalized: both directions are X ↦ X.
+	b := NewBuilder()
+	f, r := b.NormalForm(L("A", "B"))
+	if b.Concl(f).String() != "[A, B] -> [A, B]" || b.Concl(r).String() != "[A, B] -> [A, B]" {
+		t.Errorf("normal form of normalized list: %s / %s", b.Concl(f), b.Concl(r))
+	}
+}
+
+func TestDropTheorem9(t *testing.T) {
+	w, y, z := L("W"), L("Y1", "Y2"), L("Z")
+	x := L("X")
+	asm := []core.OD{
+		core.NewOD(x, w.Concat(y, z)),
+		core.NewOD(w, w.Concat(y)),
+		core.NewOD(w.Concat(y), w),
+	}
+	checkDerivation(t, asm, core.NewOD(x, w.Concat(z)), func(b *Builder) int {
+		return b.Drop(b.Assume(asm[0]), b.Assume(asm[1]), b.Assume(asm[2]), len(w), len(y))
+	})
+}
+
+func TestPartitionTheorem11(t *testing.T) {
+	w := L("W1", "W2")
+	p := L("A", "B", "C")
+	q := L("C", "A", "B")
+	asm := []core.OD{core.NewOD(w, p), core.NewOD(w, q)}
+	checkDerivation(t, asm, core.NewOD(p, q), func(b *Builder) int {
+		f, _ := b.Partition(b.Assume(asm[0]), b.Assume(asm[1]))
+		return f
+	})
+	checkDerivation(t, asm, core.NewOD(q, p), func(b *Builder) int {
+		_, r := b.Partition(b.Assume(asm[0]), b.Assume(asm[1]))
+		return r
+	})
+	// Mismatched sets must fail.
+	b := NewBuilder(core.NewOD(w, p), core.NewOD(w, L("A")))
+	i := b.Assume(core.NewOD(w, p))
+	j := b.Assume(core.NewOD(w, L("A")))
+	if f, _ := b.Partition(i, j); f != -1 || b.Err() == nil {
+		t.Error("partition without set equality must fail")
+	}
+}
+
+func TestDownwardClosureTheorem12(t *testing.T) {
+	xv := L("X", "V")
+	yw := L("Y", "W")
+	asm := core.OrderCompat(xv, yw)
+	want := core.NewOD(L("X", "Y"), L("Y", "X"))
+	checkDerivation(t, asm, want, func(b *Builder) int {
+		f, _ := b.DownwardClosure(b.Assume(asm[0]), b.Assume(asm[1]), 2, 1, 1)
+		return f
+	})
+	checkDerivation(t, asm, want.Reverse(), func(b *Builder) int {
+		_, r := b.DownwardClosure(b.Assume(asm[0]), b.Assume(asm[1]), 2, 1, 1)
+		return r
+	})
+}
+
+func TestPathTheorem10(t *testing.T) {
+	// Date hierarchy shape: date ↦ [year, month, day] and
+	// [year, month] ↔ [year, month, quarter]... spliced via
+	// [year, month] ↔ [year, quarter, month] from month ↦ quarter.
+	asm := []core.OD{
+		core.NewOD(L("date"), L("year", "month", "day")),
+		core.NewOD(L("year", "month"), L("year", "quarter", "month")),
+		core.NewOD(L("year", "quarter", "month"), L("year", "month")),
+	}
+	want := core.NewOD(L("date"), L("year", "quarter", "month", "day"))
+	checkDerivation(t, asm, want, func(b *Builder) int {
+		i := b.Assume(asm[0])
+		fe := b.Assume(asm[1])
+		be := b.Assume(asm[2])
+		return b.Path(i, fe, be, 2)
+	})
+}
+
+func TestTheorem15(t *testing.T) {
+	x, y := L("A", "B"), L("C")
+	asm := []core.OD{core.NewOD(x, y)}
+	// Forward: X ↦ Y gives X ↦ XY and XY ↔ YX.
+	checkDerivation(t, asm, core.NewOD(x, x.Concat(y)), func(b *Builder) int {
+		fd, _, _ := b.Theorem15Fwd(b.Assume(asm[0]))
+		return fd
+	})
+	checkDerivation(t, asm, core.NewOD(x.Concat(y), y.Concat(x)), func(b *Builder) int {
+		_, ocF, _ := b.Theorem15Fwd(b.Assume(asm[0]))
+		return ocF
+	})
+	checkDerivation(t, asm, core.NewOD(y.Concat(x), x.Concat(y)), func(b *Builder) int {
+		_, _, ocB := b.Theorem15Fwd(b.Assume(asm[0]))
+		return ocB
+	})
+	// Backward: the two halves recombine into X ↦ Y.
+	asm2 := []core.OD{
+		core.NewOD(x, x.Concat(y)),
+		core.NewOD(x.Concat(y), y.Concat(x)),
+	}
+	checkDerivation(t, asm2, core.NewOD(x, y), func(b *Builder) int {
+		return b.Theorem15Bwd(b.Assume(asm2[0]), b.Assume(asm2[1]))
+	})
+}
+
+func TestPermutationTheorem14(t *testing.T) {
+	x := L("A", "B")
+	y := L("C", "D")
+	asm := []core.OD{core.NewOD(x, x.Concat(y))}
+	cases := []struct{ xp, yp core.List }{
+		{L("B", "A"), L("D", "C")},
+		{L("A", "B"), L("C", "D")},
+		{L("B", "A"), L("C")},
+		{L("A", "B"), nil},
+		{L("B", "A"), L("D", "A", "C")}, // Y′ may reuse X attributes
+	}
+	for _, tc := range cases {
+		want := core.NewOD(tc.xp, tc.xp.Concat(tc.yp))
+		checkDerivation(t, asm, want, func(b *Builder) int {
+			return b.PermutationFD(b.Assume(asm[0]), tc.xp, tc.yp)
+		})
+	}
+	// Rejections.
+	b := NewBuilder(asm...)
+	if b.PermutationFD(b.Assume(asm[0]), L("A"), L("C")) != -1 || b.Err() == nil {
+		t.Error("X′ must cover set(X)")
+	}
+	b = NewBuilder(asm...)
+	if b.PermutationFD(b.Assume(asm[0]), L("A", "B"), L("Z")) != -1 || b.Err() == nil {
+		t.Error("Y′ must draw on set(XY)")
+	}
+}
+
+func TestProveTheoremHelper(t *testing.T) {
+	asm := []core.OD{core.NewOD(L("A"), L("B")), core.NewOD(L("A"), L("C"))}
+	p, err := ProveTheorem(asm, func(b *Builder) int {
+		return b.Union(b.Assume(asm[0]), b.Assume(asm[1]))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concl, err := p.Conclusion()
+	if err != nil || !concl.Equal(core.NewOD(L("A"), L("B", "C"))) {
+		t.Errorf("conclusion = %s, err = %v", concl, err)
+	}
+	if !strings.Contains(p.String(), "Suffix") {
+		t.Errorf("rendered proof misses rule names:\n%s", p)
+	}
+	if _, err := ProveTheorem(asm, func(b *Builder) int { return -1 }); err == nil {
+		t.Error("invalid step index must error")
+	}
+	if _, err := ProveTheorem(asm, func(b *Builder) int {
+		return b.Assume(core.NewOD(L("Z"), L("Z")))
+	}); err == nil {
+		t.Error("builder errors must propagate")
+	}
+}
+
+// TestDerivedTheoremsRandomized stress-tests every derived theorem with
+// random instantiations: each emitted proof must verify, and each conclusion
+// must be semantically implied by its assumptions per the complete prover.
+func TestDerivedTheoremsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	universe := L("A", "B", "C", "D")
+	rl := func(max int) core.List { return core.RandList(rng, universe, max) }
+	for i := 0; i < 60; i++ {
+		x, y, z := rl(2), rl(2), rl(2)
+		m, n := rl(1), rl(1)
+
+		asmUnion := []core.OD{core.NewOD(x, y), core.NewOD(x, z)}
+		checkDerivation(t, asmUnion, core.NewOD(x, y.Concat(z)), func(b *Builder) int {
+			return b.Union(b.Assume(asmUnion[0]), b.Assume(asmUnion[1]))
+		})
+
+		asmEq := []core.OD{core.NewOD(x, y), core.NewOD(y, x)}
+		checkDerivation(t, asmEq, core.NewOD(m.Concat(x, n), m.Concat(y, n)), func(b *Builder) int {
+			f, _ := b.Replace(b.Assume(asmEq[0]), b.Assume(asmEq[1]), m, n)
+			return f
+		})
+
+		asmElim := []core.OD{core.NewOD(x, y)}
+		checkDerivation(t, asmElim, core.NewOD(m.Concat(x, y, n), m.Concat(x, n)), func(b *Builder) int {
+			f, _ := b.Eliminate(b.Assume(asmElim[0]), m, n)
+			return f
+		})
+		checkDerivation(t, asmElim, core.NewOD(m.Concat(y, x, n), m.Concat(x, n)), func(b *Builder) int {
+			f, _ := b.LeftEliminate(b.Assume(asmElim[0]), m, n)
+			return f
+		})
+
+		// Partition with a random permutation of a random list.
+		p := rl(3)
+		perms := p.Permutations()
+		q := perms[rng.Intn(len(perms))]
+		w := rl(2)
+		asmPart := []core.OD{core.NewOD(w, p), core.NewOD(w, q)}
+		checkDerivation(t, asmPart, core.NewOD(p, q), func(b *Builder) int {
+			f, _ := b.Partition(b.Assume(asmPart[0]), b.Assume(asmPart[1]))
+			return f
+		})
+	}
+}
+
+// TestAxiomSoundnessSemantic reproduces Theorem 1 (Lemmas 2–7) empirically:
+// for random relations, whenever an axiom's premises hold, its conclusion
+// holds.
+func TestAxiomSoundnessSemantic(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	universe := L("A", "B", "C")
+	holds := func(r *core.Relation, od core.OD) bool {
+		ok, _, err := r.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	for i := 0; i < 250; i++ {
+		r := core.RandRelation(rng, universe, 6, 2)
+		x, y, z := core.RandList(rng, universe, 2), core.RandList(rng, universe, 2), core.RandList(rng, universe, 2)
+		m, n := core.RandList(rng, universe, 1), core.RandList(rng, universe, 1)
+
+		// OD1 Reflexivity: XY ↦ X always.
+		if !holds(r, core.NewOD(x.Concat(y), x)) {
+			t.Fatalf("Reflexivity falsified on\n%s", r)
+		}
+		// OD3 Normalization: MXYXN ↔ MXYN always.
+		long := m.Concat(x, y, x, n)
+		short := m.Concat(x, y, n)
+		if !holds(r, core.NewOD(long, short)) || !holds(r, core.NewOD(short, long)) {
+			t.Fatalf("Normalization falsified on\n%s", r)
+		}
+		// OD2 Prefix and OD5 Suffix, conditional on X ↦ Y.
+		if holds(r, core.NewOD(x, y)) {
+			if !holds(r, core.NewOD(z.Concat(x), z.Concat(y))) {
+				t.Fatalf("Prefix unsound on\n%s", r)
+			}
+			yx := y.Concat(x)
+			if !holds(r, core.NewOD(x, yx)) || !holds(r, core.NewOD(yx, x)) {
+				t.Fatalf("Suffix unsound on\n%s", r)
+			}
+		}
+		// OD4 Transitivity.
+		if holds(r, core.NewOD(x, y)) && holds(r, core.NewOD(y, z)) {
+			if !holds(r, core.NewOD(x, z)) {
+				t.Fatalf("Transitivity unsound on\n%s", r)
+			}
+		}
+	}
+}
+
+// TestChainSoundnessSemantic checks OD6 with a one-link chain on random
+// relations: X ~ W, W ~ Z and XW ~ WZ force X ~ Z.
+func TestChainSoundnessSemantic(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	universe := L("A", "B", "C")
+	for i := 0; i < 400; i++ {
+		r := core.RandRelation(rng, universe, 5, 2)
+		x := core.RandList(rng, universe, 1)
+		w := core.RandList(rng, universe, 1)
+		z := core.RandList(rng, universe, 1)
+		oc := func(a, b core.List) bool {
+			ok, _, err := r.SatisfiesAll(core.OrderCompat(a, b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ok
+		}
+		if oc(x, w) && oc(w, z) && oc(x.Concat(w), w.Concat(z)) {
+			if !oc(x, z) {
+				t.Fatalf("Chain unsound for X=%v W=%v Z=%v on\n%s", x, w, z, r)
+			}
+		}
+	}
+}
+
+// TestFigure3ChainCounterexample reproduces the paper's Figure 3: without
+// the chain condition XW ~ WZ, order compatibility is not transitive. The
+// two-row table has A and C swapped while every Bi agrees with A.
+func TestFigure3ChainCounterexample(t *testing.T) {
+	r := core.MustRelation(L("A", "B1", "B2", "B3", "C"))
+	if err := r.AddIntRow(0, 0, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddIntRow(1, 1, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	oc := func(a, b core.List) bool {
+		ok, _, err := r.SatisfiesAll(core.OrderCompat(a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !oc(L("A"), L("B1")) || !oc(L("B1"), L("B2")) || !oc(L("B2"), L("B3")) {
+		t.Error("the chain links should be order compatible")
+	}
+	if oc(L("B3"), L("C")) {
+		t.Error("B3 ~ C must fail: that is the point of the example")
+	}
+	if oc(L("A"), L("C")) {
+		t.Error("A ~ C must fail in Figure 3")
+	}
+}
+
+func TestChainRuleVerification(t *testing.T) {
+	// A syntactically valid chain application must verify; scrambled
+	// premises must not.
+	x, w, z := L("X"), L("W"), L("Z")
+	var asm []core.OD
+	asm = append(asm, core.OrderCompat(x, w)...)
+	asm = append(asm, core.OrderCompat(w, z)...)
+	asm = append(asm, core.OrderCompat(x.Concat(w), w.Concat(z))...)
+	b := NewBuilder(asm...)
+	var prem []int
+	for _, od := range asm {
+		prem = append(prem, b.Assume(od))
+	}
+	f, r := b.Chain(x, []core.List{w}, z, prem)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if !b.Concl(f).Equal(core.NewOD(L("X", "Z"), L("Z", "X"))) {
+		t.Errorf("chain fwd = %s", b.Concl(f))
+	}
+	if !b.Concl(r).Equal(core.NewOD(L("Z", "X"), L("X", "Z"))) {
+		t.Errorf("chain bwd = %s", b.Concl(r))
+	}
+	if err := b.Proof().Verify(); err != nil {
+		t.Fatalf("chain proof fails verification: %v", err)
+	}
+	// Scramble premise order: verification must fail.
+	b2 := NewBuilder(asm...)
+	var prem2 []int
+	for _, od := range asm {
+		prem2 = append(prem2, b2.Assume(od))
+	}
+	prem2[0], prem2[2] = prem2[2], prem2[0]
+	b2.Chain(x, []core.List{w}, z, prem2)
+	if err := b2.Proof().Verify(); err == nil {
+		t.Error("scrambled chain premises must fail verification")
+	}
+	// Chain requires at least one intermediate list.
+	b3 := NewBuilder()
+	b3.Chain(x, nil, z, nil)
+	if b3.Err() == nil {
+		t.Error("chain without intermediates must fail")
+	}
+	// And the prover agrees the conclusion follows.
+	p := prover.New(asm)
+	ok, err := p.ImpliesAll(core.OrderCompat(x, z))
+	if err != nil || !ok {
+		t.Errorf("prover disagrees with chain conclusion: %v %v", ok, err)
+	}
+}

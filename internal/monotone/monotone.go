@@ -1,0 +1,391 @@
+// Package monotone derives order dependencies from algebraic expressions
+// over columns, in the spirit of the paper's Example 5 and of Malkemus et
+// al.'s predicate derivation and monotonicity detection in DB2 (the paper's
+// [12]): a generated column G = f(A) with f monotonically non-decreasing
+// satisfies the OD [A] ↦ [G], with no data inspection needed.
+//
+// Expressions support column references, integer constants, negation,
+// addition, subtraction, scaling by constants, and non-decreasing step
+// functions (SQL CASE expressions over ascending thresholds — the tax
+// bracket of Example 5). The analysis computes, per referenced column, the
+// direction in which the expression moves as the column grows, and emits
+// ODs for single-column monotone expressions.
+package monotone
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+)
+
+// Direction describes how an expression responds to growth of one column.
+type Direction uint8
+
+// The analysis lattice: Constant is the bottom (no dependence), Unknown the
+// top (no usable information).
+const (
+	Constant Direction = iota
+	Increasing
+	Decreasing
+	Unknown
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Constant:
+		return "constant"
+	case Increasing:
+		return "increasing"
+	case Decreasing:
+		return "decreasing"
+	default:
+		return "unknown"
+	}
+}
+
+func (d Direction) flip() Direction {
+	switch d {
+	case Increasing:
+		return Decreasing
+	case Decreasing:
+		return Increasing
+	default:
+		return d
+	}
+}
+
+// combine joins two directions additively.
+func combine(a, b Direction) Direction {
+	switch {
+	case a == Constant:
+		return b
+	case b == Constant:
+		return a
+	case a == b:
+		return a
+	default:
+		return Unknown
+	}
+}
+
+// Expr is an algebraic expression over named columns.
+type Expr interface {
+	// Eval computes the expression on a row (attribute → value).
+	Eval(row map[core.Attribute]core.Value) (core.Value, error)
+	// Directions reports the direction per referenced column.
+	Directions() map[core.Attribute]Direction
+	// String renders the expression.
+	String() string
+}
+
+// Col references a column.
+type Col core.Attribute
+
+// Eval implements Expr.
+func (c Col) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	v, ok := row[core.Attribute(c)]
+	if !ok {
+		return core.Value{}, fmt.Errorf("monotone: column %s not in row", string(c))
+	}
+	return v, nil
+}
+
+// Directions implements Expr.
+func (c Col) Directions() map[core.Attribute]Direction {
+	return map[core.Attribute]Direction{core.Attribute(c): Increasing}
+}
+
+// String implements Expr.
+func (c Col) String() string { return string(c) }
+
+// Const is an integer constant.
+type Const int64
+
+// Eval implements Expr.
+func (k Const) Eval(map[core.Attribute]core.Value) (core.Value, error) {
+	return core.Int(int64(k)), nil
+}
+
+// Directions implements Expr.
+func (k Const) Directions() map[core.Attribute]Direction {
+	return map[core.Attribute]Direction{}
+}
+
+// String implements Expr.
+func (k Const) String() string { return fmt.Sprint(int64(k)) }
+
+// Neg negates an expression.
+type Neg struct{ E Expr }
+
+// Eval implements Expr.
+func (n Neg) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return core.Value{}, err
+	}
+	return core.Int(-v.Int), nil
+}
+
+// Directions implements Expr.
+func (n Neg) Directions() map[core.Attribute]Direction {
+	out := make(map[core.Attribute]Direction)
+	for a, d := range n.E.Directions() {
+		out[a] = d.flip()
+	}
+	return out
+}
+
+// String implements Expr.
+func (n Neg) String() string { return "-(" + n.E.String() + ")" }
+
+// Add sums two expressions.
+type Add struct{ A, B Expr }
+
+// Eval implements Expr.
+func (x Add) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	a, err := x.A.Eval(row)
+	if err != nil {
+		return core.Value{}, err
+	}
+	b, err := x.B.Eval(row)
+	if err != nil {
+		return core.Value{}, err
+	}
+	return core.Int(a.Int + b.Int), nil
+}
+
+// Directions implements Expr.
+func (x Add) Directions() map[core.Attribute]Direction {
+	out := make(map[core.Attribute]Direction)
+	for a, d := range x.A.Directions() {
+		out[a] = d
+	}
+	for a, d := range x.B.Directions() {
+		if cur, ok := out[a]; ok {
+			out[a] = combine(cur, d)
+		} else {
+			out[a] = d
+		}
+	}
+	return out
+}
+
+// String implements Expr.
+func (x Add) String() string { return "(" + x.A.String() + " + " + x.B.String() + ")" }
+
+// Sub subtracts B from A.
+type Sub struct{ A, B Expr }
+
+// Eval implements Expr.
+func (x Sub) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	return Add{x.A, Neg{x.B}}.Eval(row)
+}
+
+// Directions implements Expr.
+func (x Sub) Directions() map[core.Attribute]Direction {
+	return Add{x.A, Neg{x.B}}.Directions()
+}
+
+// String implements Expr.
+func (x Sub) String() string { return "(" + x.A.String() + " - " + x.B.String() + ")" }
+
+// Scale multiplies an expression by an integer factor. The paper's [12]
+// example G = A/100 + A - 3 combines Scale, Div and Add.
+type Scale struct {
+	E Expr
+	K int64
+}
+
+// Eval implements Expr.
+func (s Scale) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	v, err := s.E.Eval(row)
+	if err != nil {
+		return core.Value{}, err
+	}
+	return core.Int(v.Int * s.K), nil
+}
+
+// Directions implements Expr.
+func (s Scale) Directions() map[core.Attribute]Direction {
+	out := make(map[core.Attribute]Direction)
+	for a, d := range s.E.Directions() {
+		switch {
+		case s.K > 0:
+			out[a] = d
+		case s.K < 0:
+			out[a] = d.flip()
+		default:
+			out[a] = Constant
+		}
+	}
+	return out
+}
+
+// String implements Expr.
+func (s Scale) String() string { return fmt.Sprintf("%d*(%s)", s.K, s.E.String()) }
+
+// Div divides an expression by a positive integer constant (integer
+// division, which is non-decreasing).
+type Div struct {
+	E Expr
+	K int64
+}
+
+// Eval implements Expr.
+func (d Div) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	if d.K <= 0 {
+		return core.Value{}, fmt.Errorf("monotone: division by non-positive constant %d", d.K)
+	}
+	v, err := d.E.Eval(row)
+	if err != nil {
+		return core.Value{}, err
+	}
+	q := v.Int / d.K
+	if v.Int%d.K != 0 && v.Int < 0 {
+		q-- // floor division keeps monotonicity for negatives
+	}
+	return core.Int(q), nil
+}
+
+// Directions implements Expr.
+func (d Div) Directions() map[core.Attribute]Direction { return d.E.Directions() }
+
+// String implements Expr.
+func (d Div) String() string { return fmt.Sprintf("(%s)/%d", d.E.String(), d.K) }
+
+// Step is a SQL CASE expression over ascending thresholds:
+// the result is Outputs[i] for the first i with value < Thresholds[i], and
+// Last otherwise. With non-decreasing outputs it is a monotone step
+// function — the tax bracket of Example 5.
+type Step struct {
+	E          Expr
+	Thresholds []int64 // strictly ascending
+	Outputs    []int64 // len(Outputs) == len(Thresholds)
+	Last       int64
+}
+
+// Eval implements Expr.
+func (s Step) Eval(row map[core.Attribute]core.Value) (core.Value, error) {
+	if len(s.Thresholds) != len(s.Outputs) {
+		return core.Value{}, fmt.Errorf("monotone: step needs one output per threshold")
+	}
+	v, err := s.E.Eval(row)
+	if err != nil {
+		return core.Value{}, err
+	}
+	for i, th := range s.Thresholds {
+		if v.Int < th {
+			return core.Int(s.Outputs[i]), nil
+		}
+	}
+	return core.Int(s.Last), nil
+}
+
+// monotoneOutputs reports whether the step outputs never decrease.
+func (s Step) monotoneOutputs() bool {
+	prev := int64(0)
+	for i, th := range s.Thresholds {
+		if i > 0 && th <= s.Thresholds[i-1] {
+			return false // thresholds must ascend for the case to be a step
+		}
+		if i > 0 && s.Outputs[i] < prev {
+			return false
+		}
+		prev = s.Outputs[i]
+	}
+	return len(s.Outputs) == 0 || s.Last >= prev
+}
+
+// Directions implements Expr.
+func (s Step) Directions() map[core.Attribute]Direction {
+	out := make(map[core.Attribute]Direction)
+	mono := s.monotoneOutputs()
+	for a, d := range s.E.Directions() {
+		if !mono {
+			out[a] = Unknown
+			continue
+		}
+		out[a] = d
+	}
+	return out
+}
+
+// String implements Expr.
+func (s Step) String() string {
+	return fmt.Sprintf("case(%s; %v -> %v else %d)", s.E.String(), s.Thresholds, s.Outputs, s.Last)
+}
+
+// MonotoneIn reports the direction of expression e with respect to column a,
+// requiring that e reference no other non-constant column (multi-column
+// expressions are not comparable along a single attribute's order).
+func MonotoneIn(e Expr, a core.Attribute) Direction {
+	dirs := e.Directions()
+	d, ok := dirs[a]
+	if !ok {
+		return Constant
+	}
+	for other, od := range dirs {
+		if other != a && od != Constant {
+			return Unknown
+		}
+	}
+	return d
+}
+
+// DeriveODs returns the order dependencies established by a set of
+// generated columns: for each generated G = f(A) with f non-decreasing in
+// its only column A, the OD [A] ↦ [G]. (Descending dependencies exist for
+// decreasing f, but the paper restricts itself to ascending orders, so they
+// are not emitted.)
+func DeriveODs(generated map[core.Attribute]Expr) []core.OD {
+	var out []core.OD
+	for g, e := range generated {
+		for a := range e.Directions() {
+			if MonotoneIn(e, a) == Increasing {
+				out = append(out, core.NewOD(core.List{a}, core.List{g}))
+			}
+		}
+	}
+	core.SortODs(out)
+	return out
+}
+
+// Materialize evaluates generated columns over a relation and returns a new
+// relation extended with them, for validating derived ODs against data.
+func Materialize(r *core.Relation, generated map[core.Attribute]Expr) (*core.Relation, error) {
+	names := make(core.List, 0, len(generated))
+	for g := range generated {
+		names = append(names, g)
+	}
+	// Deterministic column order.
+	names = names.Set().Sorted()
+	schema := r.Attrs().Concat(names)
+	out, err := core.NewRelation(schema)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < r.Len(); i++ {
+		row := make(map[core.Attribute]core.Value, len(r.Attrs()))
+		vals := make([]core.Value, 0, len(schema))
+		for _, a := range r.Attrs() {
+			v, err := r.Value(i, a)
+			if err != nil {
+				return nil, err
+			}
+			row[a] = v
+			vals = append(vals, v)
+		}
+		for _, g := range names {
+			v, err := generated[g].Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		if err := out.AddRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

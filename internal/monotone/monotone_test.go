@@ -1,0 +1,194 @@
+package monotone
+
+import (
+	"math/rand"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+func TestDirections(t *testing.T) {
+	income := Col("income")
+	tests := []struct {
+		e    Expr
+		want Direction
+	}{
+		{income, Increasing},
+		{Const(5), Constant},
+		{Neg{income}, Decreasing},
+		{Add{income, Const(3)}, Increasing},
+		{Sub{Const(100), income}, Decreasing},
+		{Add{income, income}, Increasing},
+		{Sub{income, income}, Unknown}, // conservatively unknown
+		{Scale{income, 4}, Increasing},
+		{Scale{income, -4}, Decreasing},
+		{Scale{income, 0}, Constant},
+		{Div{income, 100}, Increasing},
+		{Add{Div{income, 100}, Sub{income, Const(3)}}, Increasing}, // the [12] example A/100 + A - 3
+		{Step{E: income, Thresholds: []int64{10, 20}, Outputs: []int64{1, 2}, Last: 3}, Increasing},
+		{Step{E: income, Thresholds: []int64{10, 20}, Outputs: []int64{5, 2}, Last: 3}, Unknown},
+		{Step{E: income, Thresholds: []int64{20, 10}, Outputs: []int64{1, 2}, Last: 3}, Unknown},
+		{Step{E: Neg{income}, Thresholds: []int64{10}, Outputs: []int64{1}, Last: 2}, Decreasing},
+	}
+	for _, tc := range tests {
+		if got := MonotoneIn(tc.e, "income"); got != tc.want {
+			t.Errorf("MonotoneIn(%s, income) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+	// Multi-column expressions are unknown along either column.
+	two := Add{Col("a"), Col("b")}
+	if MonotoneIn(two, "a") != Unknown || MonotoneIn(two, "b") != Unknown {
+		t.Error("multi-column expressions must be Unknown per column")
+	}
+	if MonotoneIn(income, "other") != Constant {
+		t.Error("unreferenced column is Constant")
+	}
+}
+
+// TestExample5Taxes reproduces the paper's Example 5: the tax bracket (a
+// CASE over income) and the tax payable both ride income's order, so
+// [income] ↦ [bracket] and [income] ↦ [payable] are derived — and by the
+// Union theorem [income] ↦ [bracket, payable] follows, which lets an income
+// index serve ORDER BY bracket, payable.
+func TestExample5Taxes(t *testing.T) {
+	income := Col("income")
+	generated := map[core.Attribute]Expr{
+		"bracket": Step{E: income, Thresholds: []int64{20000, 50000, 100000}, Outputs: []int64{1, 2, 3}, Last: 4},
+		"payable": Div{Scale{income, 25}, 100},
+	}
+	ods := DeriveODs(generated)
+	if len(ods) != 2 {
+		t.Fatalf("expected 2 derived ODs, got %v", core.ODsString(ods))
+	}
+	p := prover.New(ods)
+	ok, err := p.Implies(core.NewOD(core.List{"income"}, core.List{"bracket", "payable"}))
+	if err != nil || !ok {
+		t.Errorf("Union conclusion should be implied: %v %v", ok, err)
+	}
+
+	// Validate on data: materialize the generated columns over random
+	// incomes and check every derived OD.
+	base, err := core.NewRelation(core.List{"income"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		if err := base.AddRow(core.Int(int64(rng.Intn(200000) - 1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mat, err := Materialize(base, generated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, od := range ods {
+		ok, v, err := mat.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("derived OD falsified on data: %v", v)
+		}
+	}
+	ok2, v, err := mat.Satisfies(core.NewOD(core.List{"income"}, core.List{"bracket", "payable"}))
+	if err != nil || !ok2 {
+		t.Errorf("union OD falsified on data: %v %v", v, err)
+	}
+}
+
+// TestDeriveODsSoundRandom: every derived OD holds on materialized data for
+// random monotone expressions.
+func TestDeriveODsSoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	col := Col("a")
+	for trial := 0; trial < 60; trial++ {
+		// Build a random expression tree over one column.
+		var build func(depth int) Expr
+		build = func(depth int) Expr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				if rng.Intn(2) == 0 {
+					return col
+				}
+				return Const(int64(rng.Intn(21) - 10))
+			}
+			switch rng.Intn(5) {
+			case 0:
+				return Add{build(depth - 1), build(depth - 1)}
+			case 1:
+				return Sub{build(depth - 1), build(depth - 1)}
+			case 2:
+				return Neg{build(depth - 1)}
+			case 3:
+				return Scale{build(depth - 1), int64(rng.Intn(7) - 3)}
+			default:
+				return Div{build(depth - 1), int64(1 + rng.Intn(5))}
+			}
+		}
+		e := build(3)
+		g := map[core.Attribute]Expr{"g": e}
+		ods := DeriveODs(g)
+
+		base, err := core.NewRelation(core.List{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			if err := base.AddRow(core.Int(int64(rng.Intn(200) - 100))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mat, err := Materialize(base, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, od := range ods {
+			ok, _, err := mat.Satisfies(od)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("unsound derivation for %s: %s falsified", e, od)
+			}
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := Col("x").Eval(map[core.Attribute]core.Value{}); err == nil {
+		t.Error("missing column must fail")
+	}
+	if _, err := (Div{Col("x"), 0}).Eval(map[core.Attribute]core.Value{"x": core.Int(1)}); err == nil {
+		t.Error("division by zero must fail")
+	}
+	if _, err := (Step{E: Col("x"), Thresholds: []int64{1}, Outputs: nil}).Eval(
+		map[core.Attribute]core.Value{"x": core.Int(1)}); err == nil {
+		t.Error("mismatched step must fail")
+	}
+	bad := map[core.Attribute]Expr{"g": Col("missing")}
+	base, _ := core.NewRelation(core.List{"a"})
+	base.AddRow(core.Int(1))
+	if _, err := Materialize(base, bad); err == nil {
+		t.Error("materializing a bad expression must fail")
+	}
+}
+
+func TestFloorDivisionMonotone(t *testing.T) {
+	// Integer division must stay monotone across zero.
+	d := Div{Col("a"), 3}
+	prev := int64(-100)
+	var prevQ int64
+	first := true
+	for a := prev; a <= 100; a++ {
+		v, err := d.Eval(map[core.Attribute]core.Value{"a": core.Int(a)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first && v.Int < prevQ {
+			t.Fatalf("div not monotone at %d: %d < %d", a, v.Int, prevQ)
+		}
+		prevQ = v.Int
+		first = false
+	}
+}

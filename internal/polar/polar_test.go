@@ -1,0 +1,279 @@
+package polar
+
+import (
+	"math/rand"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+func TestListBasics(t *testing.T) {
+	l := L("A", "-B", "+C")
+	if l.String() != "[A, -B, C]" {
+		t.Errorf("String = %q", l.String())
+	}
+	if !l.Names().Equal(core.L("A", "B", "C")) {
+		t.Errorf("Names = %v", l.Names())
+	}
+	if !l.Flip().Equal(L("-A", "B", "-C")) {
+		t.Errorf("Flip = %v", l.Flip())
+	}
+	if !l.Prefix(2).Equal(L("A", "-B")) || !l.Suffix(2).Equal(L("+C")) {
+		t.Error("Prefix/Suffix wrong")
+	}
+	if !FromPlain(core.L("A", "B")).Equal(L("A", "B")) {
+		t.Error("FromPlain wrong")
+	}
+	if A("X").Flip() != D("X") || D("X").String() != "-X" || Asc.String() != "asc" || Desc.String() != "desc" {
+		t.Error("Attr helpers wrong")
+	}
+}
+
+func TestParse(t *testing.T) {
+	l, err := ParseList("[A, -B]")
+	if err != nil || !l.Equal(L("A", "-B")) {
+		t.Errorf("ParseList = %v, %v", l, err)
+	}
+	if _, err := ParseList("[A"); err == nil {
+		t.Error("unbalanced brackets must fail")
+	}
+	if _, err := ParseList("A B"); err == nil {
+		t.Error("bad attribute must fail")
+	}
+	od, err := ParseOD("[A, -B] -> [-C]")
+	if err != nil || od.String() != "[A, -B] -> [-C]" {
+		t.Errorf("ParseOD = %v, %v", od, err)
+	}
+	if _, err := ParseOD("[A] [B]"); err == nil {
+		t.Error("missing arrow must fail")
+	}
+	empty, err := ParseList("[]")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty list parse = %v, %v", empty, err)
+	}
+}
+
+func TestSatisfiesMixedPolarity(t *testing.T) {
+	// income ascends while debt descends: [income] ↦ [-debt].
+	r := core.MustRelation(core.L("income", "debt"))
+	for _, row := range [][]int64{{100, 90}, {200, 70}, {300, 50}} {
+		if err := r.AddIntRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := Satisfies(r, NewOD(L("income"), L("-debt")))
+	if err != nil || !ok {
+		t.Errorf("[income] -> [-debt] should hold: %v %v", ok, err)
+	}
+	ok, err = Satisfies(r, NewOD(L("income"), L("debt")))
+	if err != nil || ok {
+		t.Errorf("[income] -> [debt] should fail: %v %v", ok, err)
+	}
+	if _, err := Satisfies(r, NewOD(L("nope"), L("debt"))); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+// TestPlainEmbedding: all-ascending polarized ODs agree with core ODs on
+// random relations.
+func TestPlainEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	universe := core.L("A", "B", "C")
+	for i := 0; i < 200; i++ {
+		r := core.RandRelation(rng, universe, 6, 2)
+		od := core.RandOD(rng, universe, 2)
+		plain, _, err := r.Satisfies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polarized, err := Satisfies(r, NewOD(FromPlain(od.LHS), FromPlain(od.RHS)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != polarized {
+			t.Fatalf("embedding broken for %s on\n%s", od, r)
+		}
+	}
+}
+
+// TestNegationDuality: flipping every polarity on both sides preserves
+// satisfaction.
+func TestNegationDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	universe := core.L("A", "B", "C")
+	mk := func() List {
+		l := core.RandList(rng, universe, 2)
+		out := FromPlain(l)
+		for i := range out {
+			if rng.Intn(2) == 0 {
+				out[i] = out[i].Flip()
+			}
+		}
+		return out
+	}
+	for i := 0; i < 200; i++ {
+		r := core.RandRelation(rng, universe, 6, 2)
+		od := NewOD(mk(), mk())
+		a, err := Satisfies(r, od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Satisfies(r, od.Flip())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("negation duality broken for %s on\n%s", od, r)
+		}
+	}
+}
+
+func TestProverBasics(t *testing.T) {
+	m := []OD{
+		{L("A"), L("-B")},
+		{L("-B"), L("C")},
+	}
+	p := NewProver(m)
+	cases := []struct {
+		od   string
+		want bool
+	}{
+		{"[A] -> [C]", true},         // transitivity through the flipped middle
+		{"[A] -> [-B, C]", true},     // union
+		{"[A, -B] -> [A]", true},     // reflexivity
+		{"[A] -> [B]", false},        // wrong polarity
+		{"[C] -> [A]", false},        // wrong direction
+		{"[-A] -> [B]", true},        // flip of A ↦ -B
+		{"[D, A] -> [D, C]", true},   // prefix
+		{"[-D, A] -> [-D, C]", true}, // polarized prefix
+	}
+	for _, tc := range cases {
+		od, err := ParseOD(tc.od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Implies(od)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Implies(%s) = %v, want %v", tc.od, got, tc.want)
+		}
+	}
+}
+
+// TestProverAgreesWithCore: on all-ascending questions the polarized prover
+// coincides with the unpolarized one.
+func TestProverAgreesWithCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	universe := core.L("A", "B", "C")
+	for i := 0; i < 100; i++ {
+		var plain []core.OD
+		var lifted []OD
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			od := core.RandOD(rng, universe, 2)
+			plain = append(plain, od)
+			lifted = append(lifted, NewOD(FromPlain(od.LHS), FromPlain(od.RHS)))
+		}
+		q := core.RandOD(rng, universe, 2)
+		want, err := prover.New(plain).Implies(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewProver(lifted).Implies(NewOD(FromPlain(q.LHS), FromPlain(q.RHS)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("provers disagree on %s under %s: core=%v polar=%v",
+				q, core.ODsString(plain), want, got)
+		}
+	}
+}
+
+// TestProverSoundOnData: implied polarized ODs hold on every random
+// relation satisfying the constraints.
+func TestProverSoundOnData(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	universe := core.L("A", "B")
+	mk := func() List {
+		out := FromPlain(core.RandList(rng, universe, 2))
+		for i := range out {
+			if rng.Intn(2) == 0 {
+				out[i] = out[i].Flip()
+			}
+		}
+		return out
+	}
+	for i := 0; i < 80; i++ {
+		m := []OD{{mk(), mk()}}
+		q := OD{mk(), mk()}
+		implied, err := NewProver(m).Implies(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !implied {
+			continue
+		}
+		for k := 0; k < 20; k++ {
+			r := core.RandRelation(rng, universe, 5, 2)
+			okM, err := Satisfies(r, m[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !okM {
+				continue
+			}
+			okQ, err := Satisfies(r, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !okQ {
+				t.Fatalf("unsound: %s ⊨ %s per prover, falsified by\n%s", m[0], q, r)
+			}
+		}
+	}
+}
+
+func TestReduceOrderPolarized(t *testing.T) {
+	// ORDER BY income DESC, debt ASC reduces to income DESC when
+	// [-income] ↦ [debt] (debt rises as income falls).
+	p := NewProver([]OD{{L("-income"), L("debt")}})
+	reduced, err := p.ReduceOrder(L("-income", "debt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reduced.Equal(L("-income")) {
+		t.Errorf("reduced = %v, want [-income]", reduced)
+	}
+	// The mixed Example 1: ORDER BY year ASC, quarter DESC, month DESC
+	// reduces given [-month] ↦ [-quarter] (flip of month ↦ quarter).
+	p2 := NewProver([]OD{{L("month"), L("quarter")}})
+	reduced, err = p2.ReduceOrder(L("year", "-quarter", "-month"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reduced.Equal(L("year", "-month")) {
+		t.Errorf("reduced = %v, want [year, -month]", reduced)
+	}
+	// Duplicate names normalize regardless of polarity.
+	reduced, err = NewProver(nil).ReduceOrder(L("A", "-A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reduced.Equal(L("A", "B")) {
+		t.Errorf("normalize = %v", reduced)
+	}
+}
+
+func TestProverGuard(t *testing.T) {
+	var big List
+	for i := 0; i < DefaultMaxAttrs+1; i++ {
+		big = append(big, A(string(rune('A'+i))))
+	}
+	p := NewProver(nil)
+	if _, err := p.Implies(NewOD(big, big.Prefix(1))); err == nil {
+		t.Error("attribute guard must trigger")
+	}
+}

@@ -1,0 +1,189 @@
+package polar
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+)
+
+// Prover decides implication for polarized ODs. Two-tuple locality survives
+// polarization — a polarized OD still constrains pairs of tuples — so the
+// sign-pattern search of internal/prover carries over: a polarized list's
+// comparison on a pattern is the first attribute with a non-Equal sign,
+// multiplied by that attribute's direction.
+type Prover struct {
+	ods      []OD
+	maxAttrs int
+	cache    map[string]bool
+}
+
+// DefaultMaxAttrs mirrors the unpolarized prover's guard.
+const DefaultMaxAttrs = 14
+
+// NewProver builds a prover over the polarized constraint set.
+func NewProver(m []OD) *Prover {
+	ods := make([]OD, len(m))
+	copy(ods, m)
+	return &Prover{ods: ods, maxAttrs: DefaultMaxAttrs, cache: make(map[string]bool)}
+}
+
+// Implies reports whether the constraints logically imply od.
+func (p *Prover) Implies(od OD) (bool, error) {
+	key := od.String()
+	if v, ok := p.cache[key]; ok {
+		return v, nil
+	}
+	attrs := make(core.AttrSet)
+	collect := func(l List) {
+		for _, a := range l {
+			attrs.Add(a.Name)
+		}
+	}
+	for _, m := range p.ods {
+		collect(m.LHS)
+		collect(m.RHS)
+	}
+	collect(od.LHS)
+	collect(od.RHS)
+	universe := attrs.Sorted()
+	if len(universe) > p.maxAttrs {
+		return false, fmt.Errorf("polar: question mentions %d attributes, exceeding the limit of %d",
+			len(universe), p.maxAttrs)
+	}
+	pos := make(map[core.Attribute]int, len(universe))
+	for i, a := range universe {
+		pos[a] = i
+	}
+	compile := func(l List) []signedIdx {
+		out := make([]signedIdx, len(l))
+		for i, a := range l {
+			out[i] = signedIdx{idx: pos[a.Name], dir: int8(a.Dir)}
+		}
+		return out
+	}
+	var m []compiled
+	for _, c := range p.ods {
+		m = append(m, compiled{lhs: compile(c.LHS), rhs: compile(c.RHS)})
+	}
+	target := compiled{lhs: compile(od.LHS), rhs: compile(od.RHS)}
+	signs := make([]int8, len(universe))
+	implied := !search(signs, 0, false, m, target)
+	p.cache[key] = implied
+	return implied, nil
+}
+
+type signedIdx struct {
+	idx int
+	dir int8
+}
+
+type compiled struct {
+	lhs, rhs []signedIdx
+}
+
+func cmp(signs []int8, l []signedIdx) int8 {
+	for _, si := range l {
+		if s := signs[si.idx]; s != 0 {
+			return s * si.dir
+		}
+	}
+	return 0
+}
+
+func (c compiled) holds(signs []int8) bool {
+	cx := cmp(signs, c.lhs)
+	cy := cmp(signs, c.rhs)
+	if cx == 0 {
+		return cy == 0
+	}
+	return cy == 0 || cy == cx
+}
+
+// search mirrors internal/prover: enumerate sign assignments with the first
+// non-zero fixed negative (negation invariance), returning true when a
+// pattern satisfies m while falsifying the target.
+func search(signs []int8, k int, seen bool, m []compiled, target compiled) bool {
+	if k == len(signs) {
+		if target.holds(signs) {
+			return false
+		}
+		for _, c := range m {
+			if !c.holds(signs) {
+				return false
+			}
+		}
+		return true
+	}
+	signs[k] = 0
+	if search(signs, k+1, seen, m, target) {
+		return true
+	}
+	signs[k] = -1
+	if search(signs, k+1, true, m, target) {
+		return true
+	}
+	if seen {
+		signs[k] = 1
+		if search(signs, k+1, true, m, target) {
+			return true
+		}
+	}
+	signs[k] = 0
+	return false
+}
+
+// ReduceOrder minimizes a polarized ORDER BY list under the constraints:
+// a contiguous segment is dropped when the prefix to its left ties it (the
+// polarized Eliminate, via the FD-form OD prefix ↦ prefix·seg) or when a
+// list immediately to its right orders it (the polarized Left Eliminate).
+// The reduced list is order equivalent to the input under the constraints.
+func (p *Prover) ReduceOrder(order List) (List, error) {
+	cur := normalizePolar(order)
+	for changed := true; changed; {
+		changed = false
+		for i := len(cur) - 1; i >= 0 && !changed; i-- {
+			for l := 1; i+l <= len(cur) && !changed; l++ {
+				seg := cur[i : i+l]
+				rest := cur.Suffix(i + l)
+				prefix := cur.Prefix(i)
+				ok, err := p.Implies(NewOD(prefix, prefix.Concat(List(seg))))
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					cur = prefix.Concat(rest)
+					changed = true
+					break
+				}
+				for j := 1; j <= len(rest); j++ {
+					post := rest.Prefix(j)
+					ok, err := p.Implies(NewOD(post, List(seg)))
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						cur = prefix.Concat(rest)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return cur, nil
+}
+
+// normalizePolar drops attributes whose name already occurred, regardless
+// of polarity: once an attribute's value is fixed by an earlier tie, its
+// direction is irrelevant.
+func normalizePolar(l List) List {
+	seen := make(map[core.Attribute]bool, len(l))
+	out := make(List, 0, len(l))
+	for _, a := range l {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

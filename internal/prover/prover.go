@@ -1,0 +1,264 @@
+// Package prover decides logical implication for order dependencies: given a
+// set M of prescribed ODs, does M ⊨ X ↦ Y hold in every relation instance?
+// The paper names an efficient OD theorem prover as its primary future-work
+// item (Section 6); this package implements a sound and complete one.
+//
+// The procedure rests on two facts.
+//
+// First, ODs are two-tuple-local: Definition 4 quantifies over pairs of
+// tuples, so a relation satisfies M exactly when each of its two-row
+// subrelations does. Hence M ⊨ φ iff no two-row relation satisfies M while
+// falsifying φ. A two-row relation is fully described, up to order
+// isomorphism, by a core.Pattern — one sign from {<, =, >} per attribute —
+// and only attributes mentioned in M and φ matter (all others can be set
+// to "=" without affecting any comparison). The search space is therefore
+// 3^n for n mentioned attributes. General OD implication is co-NP-complete
+// (shown in the authors' follow-on work), so an exponent in n is expected;
+// constraint sets mention few attributes, keeping the search small. A
+// pattern and its negation satisfy the same ODs, so the search fixes the
+// first non-equal sign to "<", halving the space.
+//
+// Second, by Theorem 15 an OD can only fail via a split (an FD violation) or
+// a swap. The split half reduces to Armstrong closure over the FDs implied
+// by M (Lemma 1, Theorem 13), which the prover checks first in polynomial
+// time; when it fails, the familiar two-row Ullman table is returned as the
+// counterexample without any search.
+package prover
+
+import (
+	"fmt"
+
+	"odlib/internal/core"
+	"odlib/internal/fd"
+)
+
+// DefaultMaxAttrs bounds the number of distinct attributes a single
+// implication question may mention. 3^14 patterns check in well under a
+// second; raise the bound explicitly via WithMaxAttrs if needed.
+const DefaultMaxAttrs = 14
+
+// Prover answers implication questions against a fixed OD set M.
+// A Prover is not safe for concurrent use.
+type Prover struct {
+	ods      []core.OD
+	fds      []fd.FD
+	universe core.List
+	maxAttrs int
+	cache    map[string]cached
+}
+
+type cached struct {
+	implied bool
+	witness *core.Pattern
+}
+
+// Option configures a Prover.
+type Option func(*Prover)
+
+// WithMaxAttrs overrides the attribute-count guard.
+func WithMaxAttrs(n int) Option {
+	return func(p *Prover) { p.maxAttrs = n }
+}
+
+// New creates a prover for the OD set M.
+func New(m []core.OD, opts ...Option) *Prover {
+	ods := make([]core.OD, len(m))
+	copy(ods, m)
+	p := &Prover{
+		ods:      ods,
+		fds:      fd.FromODs(ods),
+		universe: core.AttrsOf(ods).Sorted(),
+		maxAttrs: DefaultMaxAttrs,
+		cache:    make(map[string]cached),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// ODs returns the prescribed OD set M.
+func (p *Prover) ODs() []core.OD { return p.ods }
+
+// Universe returns the attributes mentioned by M, sorted.
+func (p *Prover) Universe() core.List { return p.universe }
+
+// Implies reports whether M ⊨ od.
+func (p *Prover) Implies(od core.OD) (bool, error) {
+	ok, _, err := p.ImpliesWitness(od)
+	return ok, err
+}
+
+// ImpliesWitness reports whether M ⊨ od; when it does not, it also returns a
+// two-row counterexample pattern that satisfies M and falsifies od.
+func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
+	key := od.Key()
+	if c, ok := p.cache[key]; ok {
+		return c.implied, c.witness, nil
+	}
+	implied, witness, err := p.decide(od)
+	if err != nil {
+		return false, nil, err
+	}
+	p.cache[key] = cached{implied, witness}
+	return implied, witness, nil
+}
+
+func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
+	attrs := core.AttrsOf(p.ods).Union(od.Attrs()).Sorted()
+	if len(attrs) > p.maxAttrs {
+		return false, nil, fmt.Errorf(
+			"prover: question mentions %d attributes, exceeding the limit of %d (raise with WithMaxAttrs)",
+			len(attrs), p.maxAttrs)
+	}
+
+	// Split half (Theorem 15): if the FD set(X) → set(Y) is not implied,
+	// the Ullman two-row table over the closure of set(X) is a
+	// counterexample that needs no search.
+	closure := fd.Closure(od.LHS.Set(), p.fds)
+	if !od.RHS.Set().SubsetOf(closure) {
+		w := core.MustPattern(attrs)
+		for _, a := range attrs {
+			if !closure.Contains(a) {
+				if err := w.SetSign(a, core.Less); err != nil {
+					return false, nil, err
+				}
+			}
+		}
+		return false, w, nil
+	}
+
+	// Swap half: exhaustive two-row pattern search.
+	pat := core.MustPattern(attrs)
+	cods := make([]compiledOD, 0, len(p.ods)+1)
+	for _, m := range p.ods {
+		cods = append(cods, compileOD(m, pat))
+	}
+	target := compileOD(od, pat)
+	if found := p.search(pat.Signs(), 0, false, cods, target); found {
+		return false, pat, nil
+	}
+	return true, nil, nil
+}
+
+// search enumerates sign assignments depth-first over signs[k:]. seenLess
+// records whether a non-Equal sign has been placed yet; the first one is
+// fixed to Less, exploiting negation invariance. It returns true when the
+// current assignment (completed in signs) satisfies every OD in m while
+// falsifying the target.
+func (p *Prover) search(signs []core.Sign, k int, seenLess bool, m []compiledOD, target compiledOD) bool {
+	if k == len(signs) {
+		if target.holds(signs) {
+			return false
+		}
+		for _, c := range m {
+			if !c.holds(signs) {
+				return false
+			}
+		}
+		return true
+	}
+	signs[k] = core.Equal
+	if p.search(signs, k+1, seenLess, m, target) {
+		return true
+	}
+	signs[k] = core.Less
+	if p.search(signs, k+1, true, m, target) {
+		return true
+	}
+	if seenLess {
+		signs[k] = core.Greater
+		if p.search(signs, k+1, true, m, target) {
+			return true
+		}
+	}
+	signs[k] = core.Equal
+	return false
+}
+
+// compiledOD holds an OD with both sides resolved to sign-array indexes, so
+// the inner search loop runs on plain slices.
+type compiledOD struct {
+	lhs, rhs []int
+}
+
+func compileOD(od core.OD, pat *core.Pattern) compiledOD {
+	idx := func(l core.List) []int {
+		out := make([]int, 0, len(l))
+		for _, a := range l {
+			out = append(out, pat.Universe().Index(a))
+		}
+		return out
+	}
+	return compiledOD{lhs: idx(od.LHS), rhs: idx(od.RHS)}
+}
+
+func cmpSigns(signs []core.Sign, idx []int) core.Sign {
+	for _, i := range idx {
+		if s := signs[i]; s != core.Equal {
+			return s
+		}
+	}
+	return core.Equal
+}
+
+func (c compiledOD) holds(signs []core.Sign) bool {
+	cx := cmpSigns(signs, c.lhs)
+	cy := cmpSigns(signs, c.rhs)
+	if cx == core.Equal {
+		return cy == core.Equal
+	}
+	return cy == core.Equal || cy == cx
+}
+
+// ImpliesAll reports whether M implies every OD of the slice.
+func (p *Prover) ImpliesAll(ods []core.OD) (bool, error) {
+	for _, od := range ods {
+		ok, err := p.Implies(od)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports whether M ⊨ X ↔ Y.
+func (p *Prover) Equivalent(x, y core.List) (bool, error) {
+	return p.ImpliesAll(core.Equivalence(x, y))
+}
+
+// OrderCompatible reports whether M ⊨ X ~ Y (Definition 5).
+func (p *Prover) OrderCompatible(x, y core.List) (bool, error) {
+	return p.ImpliesAll(core.OrderCompat(x, y))
+}
+
+// IsConstant reports whether M forces attribute a to a single value
+// (Definition 18): M ⊨ [] ↦ [a].
+func (p *Prover) IsConstant(a core.Attribute) (bool, error) {
+	return p.Implies(core.ConstantOD(a))
+}
+
+// Constants returns the attributes of M's universe that are constants.
+func (p *Prover) Constants() (core.List, error) {
+	var out core.List
+	for _, a := range p.universe {
+		ok, err := p.IsConstant(a)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// EquivalentSets reports whether M and other have the same closure
+// (Definition 9), by mutual implication of the generators.
+func (p *Prover) EquivalentSets(other []core.OD) (bool, error) {
+	if ok, err := p.ImpliesAll(other); err != nil || !ok {
+		return false, err
+	}
+	q := New(other, WithMaxAttrs(p.maxAttrs))
+	return q.ImpliesAll(p.ods)
+}

@@ -1,0 +1,105 @@
+package odlib
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	constraints, err := ParseConstraints("[month] -> [quarter]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReasoner(constraints)
+
+	ok, err := r.Equivalent(L("year", "quarter", "month"), L("year", "month"))
+	if err != nil || !ok {
+		t.Errorf("Example 1 equivalence should hold: %v %v", ok, err)
+	}
+	reduced, err := ReduceOrderBy(L("year", "quarter", "month"), constraints)
+	if err != nil || !reduced.Equal(L("year", "month")) {
+		t.Errorf("ReduceOrderBy = %v, %v", reduced, err)
+	}
+	eq, err := OrderEquivalent(L("year", "quarter", "month"), L("year", "month"), constraints)
+	if err != nil || !eq {
+		t.Errorf("OrderEquivalent = %v, %v", eq, err)
+	}
+
+	// Refutation with a counterexample.
+	od, err := ParseOD("[quarter] -> [month]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied, err := r.Implies(od)
+	if err != nil || implied {
+		t.Errorf("reverse must not be implied: %v %v", implied, err)
+	}
+	cx, err := r.Counterexample(od)
+	if err != nil || cx == nil {
+		t.Fatalf("expected counterexample: %v", err)
+	}
+	okM, _, err := cx.SatisfiesAll(constraints)
+	if err != nil || !okM {
+		t.Error("counterexample must satisfy the constraints")
+	}
+	okOD, _, err := cx.Satisfies(od)
+	if err != nil || okOD {
+		t.Error("counterexample must falsify the candidate")
+	}
+	// Implied statements have no counterexample.
+	cx2, err := r.Counterexample(NewOD(L("month"), L("quarter")))
+	if err != nil || cx2 != nil {
+		t.Errorf("implied OD must have no counterexample: %v %v", cx2, err)
+	}
+}
+
+func TestFacadeArmstrong(t *testing.T) {
+	constraints, err := ParseConstraints("[A] -> [B]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := ArmstrongRelation(constraints, L("A", "B", "C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err := table.SatisfiesAll(constraints)
+	if err != nil || !ok {
+		t.Error("Armstrong relation must satisfy the constraints")
+	}
+	holds, _, err := table.Satisfies(NewOD(L("B"), L("A")))
+	if err != nil || holds {
+		t.Error("Armstrong relation must falsify the non-implied reverse")
+	}
+}
+
+func TestFacadeDiscoverAndProve(t *testing.T) {
+	rel, err := NewRelation(L("A", "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := rel.AddIntRow(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ods, err := DiscoverODs(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := NewReasoner(ods)
+	ok, err := found.Equivalent(L("A"), L("B"))
+	if err != nil || !ok {
+		t.Errorf("discovery should find A <-> B: %v %v", ok, err)
+	}
+
+	asm := []OD{NewOD(L("A"), L("B")), NewOD(L("A"), L("C"))}
+	proof, err := Prove(asm, func(b *ProofBuilder) int {
+		return b.Union(b.Assume(asm[0]), b.Assume(asm[1]))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concl, err := proof.Conclusion()
+	if err != nil || !concl.Equal(NewOD(L("A"), L("B", "C"))) {
+		t.Errorf("proved %s, err %v", concl, err)
+	}
+}
