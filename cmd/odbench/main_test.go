@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCatalogExperimentJSON runs the memoization experiment end to end and
+// checks the machine-readable output. The speedup must be present and
+// positive; its magnitude (>100x on an idle machine) is reported, not
+// asserted, so a loaded CI runner cannot turn a measurement into a failure.
+func TestCatalogExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "catalog", "-json", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "BENCH_catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Experiment string `json:"experiment"`
+		Metrics    []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+			Unit  string  `json:"unit"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("BENCH_catalog.json is not valid JSON: %v", err)
+	}
+	if res.Experiment != "catalog" {
+		t.Errorf("experiment = %q", res.Experiment)
+	}
+	byName := map[string]float64{}
+	for _, m := range res.Metrics {
+		byName[m.Name] = m.Value
+	}
+	for _, want := range []string{"cold/total", "memoized/total", "speedup", "memo_hits"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("metric %q missing from %v", want, byName)
+		}
+	}
+	if byName["speedup"] <= 0 {
+		t.Errorf("speedup = %.1f, want positive", byName["speedup"])
+	}
+}
+
+// TestProverExperimentJSON smoke-tests another experiment through the -json
+// path to ensure the flag is not catalog-specific.
+func TestProverExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "prover", "-json", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_prover.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

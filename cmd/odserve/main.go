@@ -1,0 +1,120 @@
+// Command odserve runs the OD constraint catalog as a long-lived HTTP/JSON
+// daemon — the theorem prover "efficient enough to be usable by a query
+// optimizer" that the paper leaves as future work, packaged the way a DBMS
+// would consume it: declare constraints once, then hit the memoized prover
+// from many concurrent sessions.
+//
+// Usage:
+//
+//	odserve -addr :8080
+//	odserve -addr :8080 -ods constraints.txt -memo 65536
+//
+// Endpoints (see internal/server):
+//
+//	curl -X POST localhost:8080/ods -d '{"statements": ["[month] -> [quarter]"]}'
+//	curl localhost:8080/ods
+//	curl -X POST localhost:8080/prove -d '{"statement": "[year, quarter, month] <-> [year, month]"}'
+//	curl -X POST localhost:8080/rewrite -d '{"order": "[year, quarter, month]"}'
+//	curl localhost:8080/healthz
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"odlib/internal/catalog"
+	"odlib/internal/core"
+	"odlib/internal/prover"
+	"odlib/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "odserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until shutdown. When ready is non-nil it
+// receives the bound address once the listener is up (used by tests to talk
+// to a daemon on a kernel-assigned port).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("odserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	odsFile := fs.String("ods", "", "file of OD statements to preload")
+	memo := fs.Int("memo", catalog.DefaultMemoCapacity, "verdict memo capacity")
+	maxAttrs := fs.Int("maxattrs", prover.DefaultMaxAttrs, "attribute limit per implication question")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cat := catalog.New(catalog.WithMemoCapacity(*memo), catalog.WithMaxAttrs(*maxAttrs))
+	if *odsFile != "" {
+		n, err := preload(cat, *odsFile)
+		if err != nil {
+			return err
+		}
+		log.Printf("preloaded %d ODs from %s (closure size %d)", n, *odsFile, cat.Stats().Closure)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           server.New(cat),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("odserve listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// preload declares the statements of a constraints file into the catalog.
+func preload(cat *catalog.Catalog, path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	ods, err := core.ParseStatements(string(b))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return cat.Add(ods...), nil
+}

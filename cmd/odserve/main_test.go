@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"odlib/internal/catalog"
+)
+
+// TestDaemonLifecycle boots the real daemon on a kernel-assigned port with a
+// preloaded constraint file, drives it over HTTP, and shuts it down with
+// SIGTERM — the full operational loop.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ods.txt")
+	text := "# warehouse constraints\n[month] -> [quarter]\n[d_date] <-> [d_date_sk]\n"
+	if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-ods", file, "-drain", "2s"}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	var health struct {
+		OK      bool          `json:"ok"`
+		Catalog catalog.Stats `json:"catalog"`
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Catalog.Declared != 3 {
+		t.Fatalf("healthz = %+v; want 3 preloaded ODs (the <-> expands to two)", health)
+	}
+
+	var prove struct {
+		Implied bool `json:"implied"`
+	}
+	resp, err = http.Post(base+"/prove", "application/json",
+		strings.NewReader(`{"statement": "[d_date_sk] -> [quarter, month]"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prove); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prove.Implied {
+		t.Fatal("[d_date_sk] -> [quarter, month] should not be implied")
+	}
+
+	// SIGTERM must drain and exit cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v, want clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+}
+
+func TestPreloadErrors(t *testing.T) {
+	if err := run([]string{"-ods", "/does/not/exist"}, nil); err == nil {
+		t.Fatal("missing preload file should fail startup")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("[A] -> oops("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-ods", bad}, nil)
+	if err == nil || !strings.Contains(err.Error(), "bad.txt") {
+		t.Fatalf("err = %v, want parse failure naming the file", err)
+	}
+}

@@ -1,0 +1,3 @@
+module odlib
+
+go 1.24

@@ -1,0 +1,372 @@
+// Package catalog provides a thread-safe order-dependency constraint
+// catalog: the shared, long-lived store of declared ODs that concurrent
+// queries consult at optimization time.
+//
+// The paper names an efficient OD theorem prover usable inside a DBMS as
+// its primary future-work item (Section 6). A prover alone is not enough
+// for that setting: the constraint set is shared mutable state (DDL adds
+// and drops constraints while queries run), the same implication questions
+// recur across queries, and the pattern search behind each answer is
+// exponential in the mentioned attributes. The catalog supplies the missing
+// machinery, following the shape of Hyrise's OrderDependency storage —
+// hashing with equality buckets, inflate/deflate, eager transitive-closure
+// construction — adapted to list-based OD semantics:
+//
+//   - declared ODs are deduplicated via core.OD.Hash/Equal after
+//     per-side normalization (OD3);
+//   - an inflated transitive closure is maintained eagerly on every
+//     mutation, so closure membership answers many implication questions in
+//     O(1) without touching the prover;
+//   - a bounded, sharded, generation-stamped VerdictMemo caches full prover
+//     verdicts; catalog mutations advance the generation, which invalidates
+//     every memoized verdict at once. Repeated Implies/ReduceOrder calls
+//     against an unchanged catalog skip the exponential search entirely.
+//
+// All methods are safe for concurrent use. Mutations (Add, Remove) hold an
+// exclusive lock and eagerly rebuild the closure and a fresh prover pinned
+// to the new generation; reads grab that immutable state under a brief
+// shared lock and then decide outside any lock, so one expensive prove can
+// never stall mutations — or, through a pending writer, the whole daemon.
+// Memo entries carry the generation of the snapshot that computed them, so
+// a verdict finishing after a mutation lands under its own (dead)
+// generation rather than poisoning the new one.
+package catalog
+
+import (
+	"sync"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+	"odlib/internal/rewrite"
+)
+
+// Catalog is a concurrent OD constraint catalog with memoized implication.
+type Catalog struct {
+	mu       sync.RWMutex
+	declared *odSet
+	closure  *odSet // inflated transitive closure of declared (non-trivial ODs only)
+	gen      uint64 // bumped on every effective mutation
+	maxAttrs int
+	memo     *VerdictMemo
+	prov     *prover.Prover       // prover over the current declared set, memo-backed
+	cons     *rewrite.Constraints // rewrite constraints sharing prov
+
+	// Sorted listings precomputed per generation, so Declared/Snapshot/
+	// Listing copy a slice under the read lock instead of re-sorting and
+	// re-deflating immutable state on every call.
+	declaredList []core.OD
+	deflatedList []core.OD
+}
+
+// Option configures a Catalog.
+type Option func(*Catalog)
+
+// WithMemoCapacity bounds the verdict memo to n entries.
+func WithMemoCapacity(n int) Option {
+	return func(c *Catalog) { c.memo = NewVerdictMemo(n) }
+}
+
+// WithMaxAttrs overrides the prover's attribute-count guard for questions
+// asked through the catalog.
+func WithMaxAttrs(n int) Option {
+	return func(c *Catalog) { c.maxAttrs = n }
+}
+
+// New creates an empty catalog.
+func New(opts ...Option) *Catalog {
+	c := &Catalog{
+		declared: newODSet(),
+		closure:  newODSet(),
+		maxAttrs: prover.DefaultMaxAttrs,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.memo == nil {
+		c.memo = NewVerdictMemo(DefaultMemoCapacity)
+	}
+	c.rebuildLocked()
+	return c
+}
+
+// Add declares ODs, returning how many were new. Declarations are
+// canonicalized (per-side normalization) and deduplicated; trivial ODs are
+// dropped silently since they constrain nothing. When anything was added
+// the transitive closure is rebuilt, the generation advances and every
+// memoized verdict is invalidated.
+func (c *Catalog) Add(ods ...core.OD) int {
+	n, _ := c.AddStamped(ods...)
+	return n
+}
+
+// AddStamped is Add plus the post-mutation catalog stats, captured under the
+// same lock acquisition — the returned generation is the one this mutation
+// produced (or left in place, when nothing was effectively added), which a
+// separate Stats call cannot guarantee under concurrent mutation.
+func (c *Catalog) AddStamped(ods ...core.OD) (int, Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, od := range ods {
+		od = canon(od)
+		if od.Trivial() {
+			continue
+		}
+		if c.declared.add(od) {
+			added++
+		}
+	}
+	if added > 0 {
+		c.mutateLocked()
+	}
+	return added, c.statsLocked()
+}
+
+// Remove withdraws declared ODs (canonicalized before lookup), returning how
+// many were present. Derived closure ODs cannot be removed directly — they
+// vanish when the declarations entailing them do.
+func (c *Catalog) Remove(ods ...core.OD) int {
+	n, _ := c.RemoveStamped(ods...)
+	return n
+}
+
+// RemoveStamped is Remove plus the post-mutation catalog stats, captured
+// under the same lock acquisition.
+func (c *Catalog) RemoveStamped(ods ...core.OD) (int, Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for _, od := range ods {
+		if c.declared.remove(canon(od)) {
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.mutateLocked()
+	}
+	return removed, c.statsLocked()
+}
+
+// mutateLocked records an effective mutation: new generation, rebuilt
+// closure and prover, all memoized verdicts invalidated. Callers hold the
+// write lock.
+func (c *Catalog) mutateLocked() {
+	c.gen = c.memo.Invalidate()
+	c.rebuildLocked()
+}
+
+// rebuildLocked recomputes the closure and the memo-backed prover and
+// rewrite constraints from the declared set. Everything built here is
+// immutable afterwards (a later mutation assigns fresh values instead of
+// modifying these), which is what lets readers snapshot it and work outside
+// the lock. The prover's cache view is pinned to the current generation.
+func (c *Catalog) rebuildLocked() {
+	declared := c.declared.slice()
+	c.closure = transitiveClosure(declared)
+	c.declaredList = declared
+	c.deflatedList = Deflate(c.closure.slice())
+	c.prov = prover.New(declared,
+		prover.WithMaxAttrs(c.maxAttrs),
+		prover.WithCache(c.memo.At(c.gen)))
+	c.cons = rewrite.NewConstraints(nil, declared).UseProver(c.prov)
+}
+
+// snapshot captures the current immutable read state under a brief shared
+// lock. The returned pieces are never modified after construction, so the
+// caller can prove and rewrite against them with no lock held.
+type snapshot struct {
+	gen     uint64
+	closure *odSet
+	prov    *prover.Prover
+	cons    *rewrite.Constraints
+}
+
+func (c *Catalog) snapshot() snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return snapshot{gen: c.gen, closure: c.closure, prov: c.prov, cons: c.cons}
+}
+
+// impliesWitness decides one question against the snapshot. The fast path —
+// triviality, then closure membership — answers without the prover; the
+// slow path runs the generation-pinned, memo-backed prover.
+func (s snapshot) impliesWitness(od core.OD) (bool, *core.Pattern, error) {
+	od = canon(od)
+	if od.Trivial() {
+		return true, nil, nil
+	}
+	if s.closure.has(od) {
+		return true, nil, nil
+	}
+	return s.prov.ImpliesWitness(od)
+}
+
+// Declared returns the declared ODs in canonical sorted order.
+func (c *Catalog) Declared() []core.OD {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]core.OD(nil), c.declaredList...)
+}
+
+// Snapshot returns the deflated transitive closure in canonical sorted
+// order: every declared OD plus everything derivable by inflation and
+// transitivity, compacted back so no listed OD is a prefix-weakening of a
+// sibling.
+func (c *Catalog) Snapshot() []core.OD {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]core.OD(nil), c.deflatedList...)
+}
+
+// Has reports whether od (canonicalized) is trivial or a member of the
+// maintained closure. It is a sound but incomplete implication check — a
+// constant-time filter in front of Implies.
+func (c *Catalog) Has(od core.OD) bool {
+	od = canon(od)
+	if od.Trivial() {
+		return true
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.closure.has(od)
+}
+
+// Generation returns the mutation counter. Two reads returning the same
+// generation bracket a window with no effective mutation.
+func (c *Catalog) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// Listing is a mutually consistent snapshot of the catalog's constraints:
+// declared set, deflated closure and the generation both belong to.
+type Listing struct {
+	Generation uint64
+	Declared   []core.OD
+	Closure    []core.OD
+}
+
+// Listing returns declared ODs, closure and generation under one read-lock
+// acquisition, so the three always describe the same catalog state —
+// separate Declared/Snapshot/Generation calls can each observe a different
+// one under concurrent mutation.
+func (c *Catalog) Listing() Listing {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Listing{
+		Generation: c.gen,
+		Declared:   append([]core.OD(nil), c.declaredList...),
+		Closure:    append([]core.OD(nil), c.deflatedList...),
+	}
+}
+
+// Stats is a point-in-time summary of the catalog.
+type Stats struct {
+	Declared   int       `json:"declared"`
+	Closure    int       `json:"closure"`
+	Generation uint64    `json:"generation"`
+	Memo       MemoStats `json:"memo"`
+}
+
+// Stats returns current counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.statsLocked()
+}
+
+func (c *Catalog) statsLocked() Stats {
+	return Stats{
+		Declared:   c.declared.len(),
+		Closure:    c.closure.len(),
+		Generation: c.gen,
+		Memo:       c.memo.Stats(),
+	}
+}
+
+// Implies reports whether the declared ODs logically imply od.
+func (c *Catalog) Implies(od core.OD) (bool, error) {
+	ok, _, err := c.ImpliesWitness(od)
+	return ok, err
+}
+
+// ImpliesWitness is Implies plus a two-row counterexample on refutation.
+// The witness may be served from the memo and shared with other callers; it
+// must be treated as read-only.
+func (c *Catalog) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
+	return c.snapshot().impliesWitness(od)
+}
+
+// ImpliesAllWitness decides a conjunction of ODs atomically: every question
+// is answered against the same constraint snapshot, whose generation is
+// returned alongside. On the first refutation it returns that OD's
+// counterexample. This is the primitive behind Equivalent, OrderCompatible
+// and multi-OD statements like "X <-> Y" — deciding the two directions with
+// separate Implies calls could interleave with a mutation and report a
+// conjunction no single generation of the catalog ever implied.
+func (c *Catalog) ImpliesAllWitness(ods []core.OD) (bool, *core.Pattern, uint64, error) {
+	s := c.snapshot()
+	for _, od := range ods {
+		ok, w, err := s.impliesWitness(od)
+		if err != nil {
+			return false, nil, s.gen, err
+		}
+		if !ok {
+			return false, w, s.gen, nil
+		}
+	}
+	return true, nil, s.gen, nil
+}
+
+// ImpliesAll reports whether every OD of the slice is implied, atomically.
+func (c *Catalog) ImpliesAll(ods []core.OD) (bool, error) {
+	ok, _, _, err := c.ImpliesAllWitness(ods)
+	return ok, err
+}
+
+// Equivalent reports whether the catalog implies x ↔ y. Both directions are
+// decided against the same constraint set.
+func (c *Catalog) Equivalent(x, y core.List) (bool, error) {
+	return c.ImpliesAll(core.Equivalence(x, y))
+}
+
+// OrderCompatible reports whether the catalog implies x ~ y.
+func (c *Catalog) OrderCompatible(x, y core.List) (bool, error) {
+	return c.ImpliesAll(core.OrderCompat(x, y))
+}
+
+// ReduceOrder minimizes an ORDER BY list with ReduceOrder⁺ under the
+// catalog's constraints, sharing the verdict memo with Implies.
+func (c *Catalog) ReduceOrder(order core.List) (rewrite.Result, error) {
+	res, _, err := c.ReduceOrderStamped(order)
+	return res, err
+}
+
+// ReduceOrderStamped is ReduceOrder plus the generation of the constraint
+// set the reduction ran against.
+func (c *Catalog) ReduceOrderStamped(order core.List) (rewrite.Result, uint64, error) {
+	s := c.snapshot()
+	res, err := rewrite.ReduceOrder(order, s.cons)
+	return res, s.gen, err
+}
+
+// ReduceGroupBy minimizes a GROUP BY list under the catalog's constraints
+// (FD reasoning over the ODs' implied FDs).
+func (c *Catalog) ReduceGroupBy(group core.List) rewrite.Result {
+	res, _ := c.ReduceGroupByStamped(group)
+	return res
+}
+
+// ReduceGroupByStamped is ReduceGroupBy plus the generation of the
+// constraint set the reduction ran against.
+func (c *Catalog) ReduceGroupByStamped(group core.List) (rewrite.Result, uint64) {
+	s := c.snapshot()
+	return rewrite.ReduceGroupBy(group, s.cons), s.gen
+}
+
+// Covers reports whether a stream ordered by have satisfies ORDER BY want
+// under the catalog's constraints.
+func (c *Catalog) Covers(have, want core.List) (bool, error) {
+	return rewrite.Covers(have, want, c.snapshot().cons)
+}

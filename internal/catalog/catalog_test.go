@@ -1,0 +1,313 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+func mustODs(t *testing.T, text string) []core.OD {
+	t.Helper()
+	ods, err := core.ParseStatements(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ods
+}
+
+func od(t *testing.T, s string) core.OD {
+	t.Helper()
+	o, err := core.ParseOD(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestAddCanonicalizesAndDedups(t *testing.T) {
+	c := New()
+	if got := c.Add(od(t, "[A, A] -> [B]")); got != 1 {
+		t.Fatalf("first Add = %d, want 1", got)
+	}
+	if got := c.Add(od(t, "[A] -> [B, B]")); got != 0 {
+		t.Fatalf("canonical duplicate Add = %d, want 0", got)
+	}
+	if got := c.Add(od(t, "[A, B] -> [A]")); got != 0 {
+		t.Fatalf("trivial Add = %d, want 0", got)
+	}
+	decl := c.Declared()
+	if len(decl) != 1 || decl[0].Key() != "[A] -> [B]" {
+		t.Fatalf("declared = %v, want exactly [A] -> [B]", decl)
+	}
+}
+
+func TestTransitiveClosureEager(t *testing.T) {
+	c := New()
+	c.Add(mustODs(t, "[A] -> [B]; [B] -> [C]; [C] -> [D]")...)
+	for _, q := range []string{"[A] -> [C]", "[A] -> [D]", "[B] -> [D]"} {
+		if !c.Has(od(t, q)) {
+			t.Errorf("closure is missing derived %s", q)
+		}
+	}
+	if c.Has(od(t, "[D] -> [A]")) {
+		t.Error("closure contains the reverse chain, which is not implied")
+	}
+	st := c.Stats()
+	if st.Memo.Misses != 0 {
+		t.Errorf("closure fast path touched the prover memo: %+v", st.Memo)
+	}
+}
+
+func TestClosureThroughInflation(t *testing.T) {
+	c := New()
+	c.Add(mustODs(t, "[A] -> [B, C]; [B] -> [D]")...)
+	if !c.Has(od(t, "[A] -> [B]")) {
+		t.Error("inflation should derive [A] -> [B] from [A] -> [B, C]")
+	}
+	if !c.Has(od(t, "[A] -> [D]")) {
+		t.Error("closure should chain through the inflated [A] -> [B]")
+	}
+	// [A] -> [C] is NOT implied: C is only ordered as a tiebreaker under B.
+	if c.Has(od(t, "[A] -> [C]")) {
+		t.Fatal("unsound closure: [A] -> [C] is not implied by [A] -> [B, C]")
+	}
+	if ok, err := c.Implies(od(t, "[A] -> [C]")); err != nil || ok {
+		t.Fatalf("Implies([A] -> [C]) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestSnapshotDeflates(t *testing.T) {
+	c := New()
+	c.Add(od(t, "[A] -> [B, C]"))
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Key() != "[A] -> [B, C]" {
+		t.Fatalf("Snapshot = %v, want the deflated [A] -> [B, C] only", snap)
+	}
+	// The closure itself holds the inflated family.
+	if st := c.Stats(); st.Closure != 2 {
+		t.Fatalf("closure size = %d, want 2 (the prefix family)", st.Closure)
+	}
+}
+
+func TestRemoveRebuildsClosure(t *testing.T) {
+	c := New()
+	c.Add(mustODs(t, "[A] -> [B]; [B] -> [C]")...)
+	if !c.Has(od(t, "[A] -> [C]")) {
+		t.Fatal("setup: derived OD missing")
+	}
+	g := c.Generation()
+	if got := c.Remove(od(t, "[B, B] -> [C]")); got != 1 {
+		t.Fatalf("Remove = %d, want 1 (canonicalized lookup)", got)
+	}
+	if c.Generation() == g {
+		t.Error("generation did not advance on removal")
+	}
+	if c.Has(od(t, "[A] -> [C]")) {
+		t.Error("derived OD survived removal of its premise")
+	}
+	if ok, _ := c.Implies(od(t, "[A] -> [C]")); ok {
+		t.Error("Implies still true after removal")
+	}
+	if got := c.Remove(od(t, "[X] -> [Y]")); got != 0 {
+		t.Errorf("Remove of absent OD = %d, want 0", got)
+	}
+}
+
+func TestMemoHitAndInvalidation(t *testing.T) {
+	c := New()
+	c.Add(od(t, "[A] -> [B]"))
+	// Implied via the prover (not closure membership): X ↦ Y gives X ↦ XY.
+	q := od(t, "[A] -> [A, B]")
+	if c.Has(q) {
+		t.Fatal("setup: query should not be answered by the closure fast path")
+	}
+	for i := 0; i < 3; i++ {
+		if ok, err := c.Implies(q); err != nil || !ok {
+			t.Fatalf("Implies = %v, %v", ok, err)
+		}
+	}
+	st := c.Stats()
+	if st.Memo.Misses != 1 || st.Memo.Hits != 2 {
+		t.Fatalf("memo = %+v, want 1 miss then 2 hits", st.Memo)
+	}
+
+	// Mutation invalidates: the same question must be re-decided against the
+	// new constraint set, and now fails.
+	if got := c.Remove(od(t, "[A] -> [B]")); got != 1 {
+		t.Fatal("setup: remove failed")
+	}
+	if ok, err := c.Implies(q); err != nil || ok {
+		t.Fatalf("after removal Implies = %v, %v; want false", ok, err)
+	}
+	st = c.Stats()
+	if st.Memo.Misses != 2 {
+		t.Fatalf("memo after invalidation = %+v, want a second miss", st.Memo)
+	}
+}
+
+func TestImpliesWitness(t *testing.T) {
+	c := New()
+	c.Add(od(t, "[A] -> [B]"))
+	q := od(t, "[B] -> [A]")
+	ok, w, err := c.ImpliesWitness(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Fatalf("ImpliesWitness = %v, %v; want refutation with witness", ok, w)
+	}
+	if !w.HoldsAll(c.Declared()) || w.HoldsOD(canon(q)) {
+		t.Fatalf("witness %v does not separate the query from the catalog", w)
+	}
+}
+
+func TestReduceOrderSharesCatalog(t *testing.T) {
+	c := New()
+	c.Add(od(t, "[month] -> [quarter]"))
+	res, err := c.ReduceOrder(core.L("year", "quarter", "month"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reduced.Equal(core.L("year", "month")) {
+		t.Fatalf("ReduceOrder = %v, want [year, month]", res.Reduced)
+	}
+	// The reduction's implication questions landed in the shared memo, so a
+	// second reduction answers without re-deciding anything.
+	st1 := c.Stats()
+	if _, err := c.ReduceOrder(core.L("year", "quarter", "month")); err != nil {
+		t.Fatal(err)
+	}
+	st2 := c.Stats()
+	if st2.Memo.Misses != st1.Memo.Misses {
+		t.Fatalf("second ReduceOrder re-decided: %+v then %+v", st1.Memo, st2.Memo)
+	}
+}
+
+func TestCoversAndEquivalent(t *testing.T) {
+	c := New()
+	c.Add(od(t, "[month] -> [quarter]"))
+	ok, err := c.Covers(core.L("year", "month"), core.L("year", "quarter"))
+	if err != nil || !ok {
+		t.Fatalf("Covers = %v, %v; want true", ok, err)
+	}
+	ok, err = c.Equivalent(core.L("year", "quarter", "month"), core.L("year", "month"))
+	if err != nil || !ok {
+		t.Fatalf("Equivalent = %v, %v; want true", ok, err)
+	}
+	ok, err = c.Covers(core.L("year", "quarter"), core.L("year", "month"))
+	if err != nil || ok {
+		t.Fatalf("Covers reverse = %v, %v; want false (directional)", ok, err)
+	}
+}
+
+// TestWideCatalogSmallQuestion is the daemon's defining workload: one
+// catalog holding a schema's worth of constraints (here 30 attributes,
+// over twice the prover guard) must still answer small questions.
+func TestWideCatalogSmallQuestion(t *testing.T) {
+	c := New()
+	for i := 0; i+1 < 30; i += 2 {
+		c.Add(od(t, fmt.Sprintf("[W%d] -> [W%d]", i, i+1)))
+	}
+	ok, err := c.Implies(od(t, "[W0] -> [W0, W1]"))
+	if err != nil {
+		t.Fatalf("small question against a wide catalog: %v", err)
+	}
+	if !ok {
+		t.Fatal("[W0] -> [W0, W1] should be implied")
+	}
+	if ok, err := c.Implies(od(t, "[W2] -> [W0]")); err != nil || ok {
+		t.Fatalf("cross-component question = %v, %v; want false", ok, err)
+	}
+}
+
+func TestImpliesAllWitnessStampsGeneration(t *testing.T) {
+	c := New()
+	c.Add(od(t, "[A] -> [B]"))
+	ok, w, gen, err := c.ImpliesAllWitness(mustODs(t, "[A] -> [B]; [B] -> [A]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Fatalf("conjunction = %v with witness %v, want refutation of the reverse", ok, w)
+	}
+	if gen != c.Generation() {
+		t.Fatalf("stamped generation %d != catalog generation %d", gen, c.Generation())
+	}
+	l := c.Listing()
+	if l.Generation != gen || len(l.Declared) != 1 {
+		t.Fatalf("Listing = %+v, want the same generation and 1 declared OD", l)
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	c := New()
+	if ok, err := c.Implies(od(t, "[A] -> [A, A]")); err != nil || !ok {
+		t.Fatalf("trivial OD against empty catalog = %v, %v", ok, err)
+	}
+	if ok, err := c.Implies(od(t, "[A] -> [B]")); err != nil || ok {
+		t.Fatalf("non-trivial OD against empty catalog = %v, %v", ok, err)
+	}
+	if len(c.Snapshot()) != 0 || len(c.Declared()) != 0 {
+		t.Fatal("empty catalog lists constraints")
+	}
+}
+
+func TestInflateDeflate(t *testing.T) {
+	in := mustODs(t, "[A] -> [B, C]")
+	inflated := Inflate(in)
+	if len(inflated) != 2 {
+		t.Fatalf("Inflate = %v, want the 2-element prefix family", inflated)
+	}
+	keys := map[string]bool{}
+	for _, o := range inflated {
+		keys[o.Key()] = true
+	}
+	if !keys["[A] -> [B]"] || !keys["[A] -> [B, C]"] {
+		t.Fatalf("Inflate = %v, want [A] -> [B] and [A] -> [B, C]", inflated)
+	}
+	deflated := Deflate(inflated)
+	if len(deflated) != 1 || deflated[0].Key() != "[A] -> [B, C]" {
+		t.Fatalf("Deflate(Inflate(x)) = %v, want x back", deflated)
+	}
+	// Deflate must not union unrelated dependents: [A] -> [B] and [A] -> [C]
+	// stay separate because neither is a prefix of the other.
+	kept := Deflate(mustODs(t, "[A] -> [B]; [A] -> [C]"))
+	if len(kept) != 2 {
+		t.Fatalf("Deflate merged non-prefix dependents: %v", kept)
+	}
+}
+
+func TestInflateIsSound(t *testing.T) {
+	// Every inflated OD must be implied by its source alone.
+	src := od(t, "[A] -> [B, C, D]")
+	p := prover.New([]core.OD{src})
+	for _, d := range Inflate([]core.OD{src}) {
+		ok, err := p.Implies(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("inflated %v is not implied by %v", d, src)
+		}
+	}
+}
+
+func TestClosureIsSound(t *testing.T) {
+	// Every closure member must be implied by the declared set, checked with
+	// the complete prover.
+	c := New()
+	declared := mustODs(t, "[A] -> [B, C]; [B] -> [D]; [D] -> [A]; [C, D] -> [E]")
+	c.Add(declared...)
+	p := prover.New(declared)
+	for _, m := range c.Snapshot() {
+		ok, err := p.Implies(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("closure member %v is not implied by the declared set", m)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package catalog
+
+import "odlib/internal/core"
+
+// canon returns the catalog's canonical form of an OD: both sides in their
+// duplicate-free normal form (sound by the Normalization axiom, OD3). Two
+// declarations that differ only in repeated attributes land on the same
+// catalog entry.
+func canon(od core.OD) core.OD {
+	return core.OD{LHS: od.LHS.Normalize(), RHS: od.RHS.Normalize()}
+}
+
+// Inflate expands each OD into its prefix family: X ↦ Y yields X ↦ P for
+// every non-empty prefix P of Y. Each derived OD is implied by the original
+// (a lexicographic order on Y refines the one on any prefix of Y), so
+// inflation is sound.
+//
+// This is the OD-correct analogue of Hyrise's inflate_ods, which splits a
+// dependency per dependent column. For FDs that per-column split is sound;
+// for ODs it is not — [A] ↦ [B, C] does not imply [A] ↦ [C], because C may
+// only be ordered as a tiebreaker under B — so the prefix family is the
+// finest sound decomposition. The result is deduplicated and keeps only
+// non-trivial ODs, in canonical sorted order.
+func Inflate(ods []core.OD) []core.OD {
+	set := newODSet()
+	for _, od := range ods {
+		for _, d := range inflateOne(canon(od)) {
+			set.add(d)
+		}
+	}
+	return set.slice()
+}
+
+// inflateOne returns the canonical non-trivial prefix family of one OD.
+func inflateOne(od core.OD) []core.OD {
+	out := make([]core.OD, 0, len(od.RHS))
+	for i := 1; i <= len(od.RHS); i++ {
+		d := core.OD{LHS: od.LHS, RHS: od.RHS.Prefix(i)}
+		if !d.Trivial() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Deflate compacts an OD set for presentation: trivial ODs and exact
+// duplicates are dropped, and an OD whose right side is a proper prefix of a
+// sibling's (same left side) is subsumed by that sibling, reversing Inflate.
+// Deflate only removes ODs that the remaining set still implies; unlike
+// Hyrise's deflate_ods it never unions unrelated dependents, since
+// X ↦ [B, C] is strictly stronger than X ↦ [B] together with X ↦ [C]
+// reordered arbitrarily.
+func Deflate(ods []core.OD) []core.OD {
+	byLHS := make(map[string][]core.OD)
+	set := newODSet()
+	for _, od := range ods {
+		od = canon(od)
+		if od.Trivial() || !set.add(od) {
+			continue
+		}
+		byLHS[od.LHS.Key()] = append(byLHS[od.LHS.Key()], od)
+	}
+	out := make([]core.OD, 0, set.len())
+	for _, group := range byLHS {
+		for _, od := range group {
+			subsumed := false
+			for _, other := range group {
+				if len(other.RHS) > len(od.RHS) && other.RHS.HasPrefix(od.RHS) {
+					subsumed = true
+					break
+				}
+			}
+			if !subsumed {
+				out = append(out, od)
+			}
+		}
+	}
+	core.SortODs(out)
+	return out
+}
+
+// transitiveClosure computes the fixpoint of the declared set under
+// inflation and the Transitivity axiom (OD2): from X ↦ Y and Y ↦ Z derive
+// X ↦ Z, lists matched exactly as in Hyrise's build_transitive_od_closure.
+// Inflating first lets chains connect through prefixes — [A] ↦ [B, C] and
+// [B] ↦ [D] yield [A] ↦ [B] and hence [A] ↦ [D]. The result contains only
+// non-trivial canonical ODs and every one of them is implied by the input,
+// so closure membership is a sound constant-time fast path for implication.
+//
+// The closure stays polynomial: every derived OD pairs a left side with a
+// right side already present in the inflated input, so its size is at most
+// quadratic in the number of distinct sides.
+func transitiveClosure(declared []core.OD) *odSet {
+	set := newODSet()
+	byLHS := make(map[string][]core.OD) // LHS key -> ODs with that left side
+	byRHS := make(map[string][]core.OD) // RHS key -> ODs with that right side
+	var work []core.OD
+
+	insert := func(od core.OD) {
+		if od.Trivial() || !set.add(od) {
+			return
+		}
+		byLHS[od.LHS.Key()] = append(byLHS[od.LHS.Key()], od)
+		byRHS[od.RHS.Key()] = append(byRHS[od.RHS.Key()], od)
+		work = append(work, od)
+	}
+
+	for _, od := range declared {
+		for _, d := range inflateOne(canon(od)) {
+			insert(d)
+		}
+	}
+	for len(work) > 0 {
+		od := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Derived ODs recombine sides that entered through inflateOne(canon),
+		// so they are canonical already — no re-normalization needed inside
+		// the fixpoint, which runs under the catalog's write lock.
+		// od as the left link: od = X ↦ Y with some Y ↦ Z present.
+		for _, right := range byLHS[od.RHS.Key()] {
+			insert(core.OD{LHS: od.LHS, RHS: right.RHS})
+		}
+		// od as the right link: some W ↦ X present with od = X ↦ Y.
+		for _, left := range byRHS[od.LHS.Key()] {
+			insert(core.OD{LHS: left.LHS, RHS: od.RHS})
+		}
+	}
+	return set
+}

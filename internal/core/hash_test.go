@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestListHashEqualConsistency(t *testing.T) {
+	cases := []struct {
+		a, b List
+		eq   bool
+	}{
+		{L(), L(), true},
+		{nil, L(), true},
+		{L("A"), L("A"), true},
+		{L("A"), L("B"), false},
+		{L("A", "B"), L("A", "B"), true},
+		{L("A", "B"), L("B", "A"), false},
+		{L("AB"), L("A", "B"), false},
+		{L("A", ""), L("A"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.eq {
+			t.Fatalf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+		ha, hb := c.a.Hash(), c.b.Hash()
+		if c.eq && ha != hb {
+			t.Errorf("equal lists %v and %v hash differently: %#x vs %#x", c.a, c.b, ha, hb)
+		}
+		if !c.eq && ha == hb {
+			t.Errorf("unequal lists %v and %v collide on %#x", c.a, c.b, ha)
+		}
+	}
+}
+
+func TestODHashEqualConsistency(t *testing.T) {
+	ab := NewOD(L("A"), L("B"))
+	if ab.Hash() != NewOD(L("A"), L("B")).Hash() {
+		t.Error("equal ODs hash differently")
+	}
+	if ab.Hash() == ab.Reverse().Hash() {
+		t.Error("X -> Y and Y -> X collide; sides must combine asymmetrically")
+	}
+	if NewOD(L("A", "B"), L("C")).Hash() == NewOD(L("A"), L("B", "C")).Hash() {
+		t.Error("[A, B] -> [C] and [A] -> [B, C] collide; side boundary must be hashed")
+	}
+}
+
+// TestHashRandomCollisions draws random ODs over a small universe (so key
+// collisions in the string space are likely if hashing is sloppy) and checks
+// Hash agrees with Equal on every pair.
+func TestHashRandomCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	universe := L("A", "B", "C")
+	ods := make([]OD, 200)
+	for i := range ods {
+		ods[i] = RandOD(rng, universe, 3)
+	}
+	for i := range ods {
+		for j := range ods {
+			eq := ods[i].Equal(ods[j])
+			hashEq := ods[i].Hash() == ods[j].Hash()
+			if eq && !hashEq {
+				t.Fatalf("equal ODs %v and %v hash differently", ods[i], ods[j])
+			}
+			if !eq && hashEq {
+				t.Fatalf("distinct ODs %v and %v collide on %#x", ods[i], ods[j], ods[i].Hash())
+			}
+		}
+	}
+}
+
+func TestListKey(t *testing.T) {
+	if L("A", "B").Key() != "[A, B]" {
+		t.Errorf("Key() = %q, want %q", L("A", "B").Key(), "[A, B]")
+	}
+	if L().Key() != "[]" {
+		t.Errorf("empty Key() = %q, want %q", L().Key(), "[]")
+	}
+}

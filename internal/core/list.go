@@ -172,6 +172,55 @@ func (x List) Minus(y List) List {
 	return out
 }
 
+// Key returns a canonical string usable as a map key. It is the same as
+// String: two lists share a key exactly when they are Equal.
+func (x List) Key() string { return x.String() }
+
+// Hash returns a 64-bit FNV-1a hash of the list. Lists that are Equal hash
+// identically; the attribute count is folded in first so that [] and [A]
+// collide no more than unequal non-empty lists do. Hash pairs with Equal the
+// way hash() pairs with operator== on Hyrise's OrderDependency: hash buckets
+// narrow the candidates, Equal decides.
+func (x List) Hash() uint64 {
+	h := fnvOffset
+	h = fnvMix(h, uint64(len(x)))
+	for _, a := range x {
+		for i := 0; i < len(a); i++ {
+			h = (h ^ uint64(a[i])) * fnvPrime
+		}
+		h = fnvMix(h, fnvSep)
+	}
+	return h
+}
+
+// FNV-1a constants, plus a separator word hashed between attributes so that
+// ["AB"] and ["A", "B"] differ.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+	fnvSep    uint64 = 0x1f
+)
+
+// fnvMix folds a 64-bit word into an FNV-1a state byte by byte.
+func fnvMix(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (w & 0xff)) * fnvPrime
+		w >>= 8
+	}
+	return h
+}
+
+// HashString returns the 64-bit FNV-1a hash of s, built on the same
+// constants as the List and OD hashes; shared so callers hashing canonical
+// keys (the catalog's memo shards) stay on one hashing scheme.
+func HashString(s string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
 // String renders x in the paper's bracket notation, e.g. "[A, B, C]".
 func (x List) String() string {
 	var b strings.Builder

@@ -22,6 +22,15 @@ func (od OD) String() string { return od.LHS.String() + " -> " + od.RHS.String()
 // Key returns a canonical string usable as a map key.
 func (od OD) Key() string { return od.String() }
 
+// Hash returns a 64-bit hash of the OD, combining the hashes of both sides
+// asymmetrically so that X ↦ Y and Y ↦ X hash differently. ODs that are
+// Equal hash identically; catalog code pairs Hash with Equal the way Hyrise
+// pairs OrderDependency::hash() with operator==.
+func (od OD) Hash() uint64 {
+	h := od.LHS.Hash()
+	return fnvMix(h*fnvPrime, od.RHS.Hash())
+}
+
 // Equal reports whether both sides match exactly.
 func (od OD) Equal(other OD) bool {
 	return od.LHS.Equal(other.LHS) && od.RHS.Equal(other.RHS)

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseODRoundTrip is the property ParseOD(od.String()) == od over
+// randomly generated ODs, including empty and duplicate-bearing sides.
+func TestParseODRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	universe := L("A", "B2", "c_long_name", "D")
+	for i := 0; i < 2000; i++ {
+		od := RandOD(rng, universe, 4)
+		got, err := ParseOD(od.String())
+		if err != nil {
+			t.Fatalf("ParseOD(%q): %v", od.String(), err)
+		}
+		if !got.Equal(od) {
+			t.Fatalf("round trip of %v gave %v", od, got)
+		}
+	}
+}
+
+// TestParseListRoundTrip checks ParseList(x.String()) == x, including the
+// empty list's "[]" rendering.
+func TestParseListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	universe := L("A", "B", "C", "long_attr_9")
+	for i := 0; i < 1000; i++ {
+		x := RandList(rng, universe, 5)
+		got, err := ParseList(x.String())
+		if err != nil {
+			t.Fatalf("ParseList(%q): %v", x.String(), err)
+		}
+		if !got.Equal(x) {
+			t.Fatalf("round trip of %v gave %v", x, got)
+		}
+	}
+}
+
+// TestParseStatementsRoundTrip dumps random OD sets one statement per line
+// and re-parses the dump, the format odserve and the CLIs exchange.
+func TestParseStatementsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	universe := L("A", "B", "C")
+	for i := 0; i < 200; i++ {
+		ods := make([]OD, 1+rng.Intn(5))
+		lines := make([]string, len(ods))
+		for j := range ods {
+			ods[j] = RandOD(rng, universe, 3)
+			lines[j] = ods[j].String()
+		}
+		got, err := ParseStatements(strings.Join(lines, "\n"))
+		if err != nil {
+			t.Fatalf("ParseStatements: %v", err)
+		}
+		if len(got) != len(ods) {
+			t.Fatalf("round trip of %d statements gave %d", len(ods), len(got))
+		}
+		for j := range ods {
+			if !got[j].Equal(ods[j]) {
+				t.Fatalf("statement %d: round trip of %v gave %v", j, ods[j], got[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package prover
+
+import (
+	"fmt"
+	"testing"
+
+	"odlib/internal/core"
+)
+
+// countingCache wraps the default map cache with hit/put counters.
+type countingCache struct {
+	m          mapCache
+	gets, hits int
+	puts       int
+}
+
+func (c *countingCache) Get(key string) (Verdict, bool) {
+	c.gets++
+	v, ok := c.m.Get(key)
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+func (c *countingCache) Put(key string, v Verdict) {
+	c.puts++
+	c.m.Put(key, v)
+}
+
+func TestWithCacheRoutesVerdicts(t *testing.T) {
+	m, err := core.ParseStatements("[A] -> [B]; [B] -> [C]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := &countingCache{m: make(mapCache)}
+	p := New(m, WithCache(cc))
+
+	q := core.NewOD(core.L("A"), core.L("C"))
+	for i := 0; i < 3; i++ {
+		ok, err := p.Implies(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("expected [A] -> [C] implied")
+		}
+	}
+	if cc.puts != 1 {
+		t.Errorf("decide ran %d times through the cache, want 1", cc.puts)
+	}
+	if cc.hits != 2 {
+		t.Errorf("cache hits = %d, want 2", cc.hits)
+	}
+}
+
+// TestSharedCacheAcrossProvers checks two provers over the same OD set can
+// share verdicts: the second prover answers from the first one's work.
+func TestSharedCacheAcrossProvers(t *testing.T) {
+	m, err := core.ParseStatements("[A] -> [B]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := &countingCache{m: make(mapCache)}
+	q := core.NewOD(core.L("A"), core.L("A", "B"))
+
+	p1 := New(m, WithCache(cc))
+	if ok, err := p1.Implies(q); err != nil || !ok {
+		t.Fatalf("p1.Implies = %v, %v", ok, err)
+	}
+	p2 := New(m, WithCache(cc))
+	if ok, err := p2.Implies(q); err != nil || !ok {
+		t.Fatalf("p2.Implies = %v, %v", ok, err)
+	}
+	if cc.puts != 1 {
+		t.Errorf("decide ran %d times across shared-cache provers, want 1", cc.puts)
+	}
+}
+
+// TestDemandDrivenRestriction checks that a small question against a large
+// constraint set only pays for (and is only limited by) the ODs actually
+// entangled with it — the schema-wide-catalog scenario, where the declared
+// set spans far more than DefaultMaxAttrs attributes.
+func TestDemandDrivenRestriction(t *testing.T) {
+	var m []core.OD
+	for i := 0; i+1 < 40; i++ {
+		m = append(m, core.NewOD(
+			core.L(fmt.Sprintf("A%d", i)), core.L(fmt.Sprintf("A%d", i+1))))
+	}
+	p := New(m)
+	ok, err := p.Implies(core.NewOD(core.L("A0"), core.L("A0", "A1")))
+	if err != nil {
+		t.Fatalf("2-attribute question against a 40-attribute chain: %v", err)
+	}
+	if !ok {
+		t.Fatal("[A0] -> [A0, A1] should be implied by [A0] -> [A1]")
+	}
+	// Refutation stays local too, and the witness must survive validation
+	// against the whole chain.
+	ok, w, err := p.ImpliesWitness(core.NewOD(core.L("A1"), core.L("A0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || w == nil {
+		t.Fatalf("[A1] -> [A0] should be refuted with a witness, got %v %v", ok, w)
+	}
+	if !w.HoldsAll(m) {
+		t.Fatalf("witness %v does not satisfy the full chain", w)
+	}
+	// A question genuinely spanning the chain widens until it exceeds the
+	// guard; the error names the entangled attribute count.
+	if _, err := p.Implies(core.NewOD(core.L("A0"), core.L("A39"))); err == nil {
+		t.Fatal("end-to-end chain question should exceed the attribute guard")
+	}
+}
+
+// TestDisjointConstraintsIrrelevant cross-checks the component restriction's
+// completeness: adding constraints over disjoint attributes never changes an
+// answer, in either direction.
+func TestDisjointConstraintsIrrelevant(t *testing.T) {
+	base, err := core.ParseStatements("[A] -> [B]; [C] -> [A]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := core.ParseStatements("[U] -> [V]; [] -> [W]; [V] ~ [U]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"[C] -> [B]", "[A] -> [A, B]", "[B] -> [A]", "[A, C] <-> [C]",
+	}
+	for _, q := range queries {
+		ods, err := core.ParseStatement(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New(base).ImpliesAll(ods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(append(append([]core.OD{}, base...), noise...)).ImpliesAll(ods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: disjoint noise flipped the answer from %v to %v", q, want, got)
+		}
+	}
+}
+
+// TestWitnessCached checks refutations keep their counterexample through the
+// cache.
+func TestWitnessCached(t *testing.T) {
+	m, err := core.ParseStatements("[A] -> [B]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(m)
+	q := core.NewOD(core.L("B"), core.L("A"))
+	for i := 0; i < 2; i++ {
+		ok, w, err := p.ImpliesWitness(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("[B] -> [A] should not be implied by [A] -> [B]")
+		}
+		if w == nil {
+			t.Fatalf("iteration %d: refutation lost its witness", i)
+		}
+		if !w.HoldsAll(m) || w.HoldsOD(q) {
+			t.Fatalf("iteration %d: witness %v is not a counterexample", i, w)
+		}
+	}
+}

@@ -13,10 +13,13 @@
 // and only attributes mentioned in M and φ matter (all others can be set
 // to "=" without affecting any comparison). The search space is therefore
 // 3^n for n mentioned attributes. General OD implication is co-NP-complete
-// (shown in the authors' follow-on work), so an exponent in n is expected;
-// constraint sets mention few attributes, keeping the search small. A
-// pattern and its negation satisfy the same ODs, so the search fixes the
-// first non-equal sign to "<", halving the space.
+// (shown in the authors' follow-on work), so an exponent in n is expected.
+// Two reductions keep n small in practice: a pattern and its negation
+// satisfy the same ODs, so the search fixes the first non-equal sign to
+// "<", halving the space; and the search runs against a demand-driven
+// subset of M — only ODs that actually reject a candidate counterexample
+// are drawn in (see decide) — so n tracks the question, not the size of
+// the prescribed set.
 //
 // Second, by Theorem 15 an OD can only fail via a split (an FD violation) or
 // a swap. The split half reduces to Armstrong closure over the FDs implied
@@ -37,19 +40,45 @@ import (
 // second; raise the bound explicitly via WithMaxAttrs if needed.
 const DefaultMaxAttrs = 14
 
+// Verdict is a decided implication answer M ⊨ X ↦ Y: either implied, or
+// refuted with a two-row counterexample pattern. Verdicts are what the
+// prover memoizes; callers must treat the witness as read-only, since the
+// same Verdict may be served to many callers from a shared cache.
+type Verdict struct {
+	Implied bool
+	Witness *core.Pattern
+}
+
+// VerdictCache memoizes implication verdicts, keyed by core.OD.Key(). The
+// prover consults Get before deciding and calls Put after. Implementations
+// may drop entries at any time (bounded caches) and may be shared between
+// provers over the same OD set — internal/catalog supplies a concurrency-safe,
+// generation-stamped one so that repeated questions against an unchanged
+// catalog skip the exponential pattern search entirely.
+type VerdictCache interface {
+	Get(key string) (Verdict, bool)
+	Put(key string, v Verdict)
+}
+
+// mapCache is the default verdict cache: a plain map, unbounded and not safe
+// for concurrent use.
+type mapCache map[string]Verdict
+
+func (c mapCache) Get(key string) (Verdict, bool) { v, ok := c[key]; return v, ok }
+func (c mapCache) Put(key string, v Verdict)      { c[key] = v }
+
 // Prover answers implication questions against a fixed OD set M.
-// A Prover is not safe for concurrent use.
+//
+// Deciding is a pure function of the (immutable) OD set; the only mutable
+// state is the verdict cache. A Prover is therefore safe for concurrent use
+// exactly when its verdict cache is: the default map cache is not, a cache
+// injected via WithCache may be.
 type Prover struct {
 	ods      []core.OD
 	fds      []fd.FD
 	universe core.List
 	maxAttrs int
-	cache    map[string]cached
-}
-
-type cached struct {
-	implied bool
-	witness *core.Pattern
+	cache    VerdictCache
 }
 
 // Option configures a Prover.
@@ -58,6 +87,16 @@ type Option func(*Prover)
 // WithMaxAttrs overrides the attribute-count guard.
 func WithMaxAttrs(n int) Option {
 	return func(p *Prover) { p.maxAttrs = n }
+}
+
+// WithCache replaces the default in-memory verdict cache. Passing a
+// concurrency-safe cache makes the Prover safe for concurrent use.
+func WithCache(c VerdictCache) Option {
+	return func(p *Prover) {
+		if c != nil {
+			p.cache = c
+		}
+	}
 }
 
 // New creates a prover for the OD set M.
@@ -69,7 +108,7 @@ func New(m []core.OD, opts ...Option) *Prover {
 		fds:      fd.FromODs(ods),
 		universe: core.AttrsOf(ods).Sorted(),
 		maxAttrs: DefaultMaxAttrs,
-		cache:    make(map[string]cached),
+		cache:    make(mapCache),
 	}
 	for _, o := range opts {
 		o(p)
@@ -93,52 +132,149 @@ func (p *Prover) Implies(od core.OD) (bool, error) {
 // two-row counterexample pattern that satisfies M and falsifies od.
 func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 	key := od.Key()
-	if c, ok := p.cache[key]; ok {
-		return c.implied, c.witness, nil
+	if v, ok := p.cache.Get(key); ok {
+		return v.Implied, v.Witness, nil
 	}
 	implied, witness, err := p.decide(od)
 	if err != nil {
 		return false, nil, err
 	}
-	p.cache[key] = cached{implied, witness}
+	p.cache.Put(key, Verdict{Implied: implied, Witness: witness})
 	return implied, witness, nil
 }
 
+// decide answers M ⊨ od by demand-driven restriction: it reasons over a
+// working subset W ⊆ M and grows W only when forced. The loop invariant
+// that makes this exact rests on how patterns extend — an attribute outside
+// a pattern's universe reads as Equal, and an OD none of whose attributes
+// carry a non-Equal sign is satisfied. So:
+//
+//   - "no counterexample against W" is conclusive: W ⊨ od implies M ⊨ od,
+//     since M ⊇ W only adds premises;
+//   - a candidate counterexample against W is validated against all of M
+//     (with the Equal extension) before being believed; if some OD of
+//     M \ W rejects it, that OD joins W and the search repeats.
+//
+// Each round either returns or strictly grows W, so the loop terminates
+// within |M| rounds; in practice W stays near the ODs entangled with the
+// question, which keeps both the 3^n search and the attribute-count guard
+// proportional to the question rather than to the whole prescribed set —
+// essential for the long-lived catalog, where one prover serves a schema's
+// worth of constraints and most questions mention a handful of attributes.
 func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
-	attrs := core.AttrsOf(p.ods).Union(od.Attrs()).Sorted()
-	if len(attrs) > p.maxAttrs {
-		return false, nil, fmt.Errorf(
-			"prover: question mentions %d attributes, exceeding the limit of %d (raise with WithMaxAttrs)",
-			len(attrs), p.maxAttrs)
+	// Seed with the ODs sharing an attribute with the question.
+	working := make([]core.OD, 0, len(p.ods))
+	inWorking := make([]bool, len(p.ods))
+	seed := od.Attrs()
+	for i, m := range p.ods {
+		if touches(m, seed) {
+			inWorking[i] = true
+			working = append(working, m)
+		}
 	}
 
-	// Split half (Theorem 15): if the FD set(X) → set(Y) is not implied,
-	// the Ullman two-row table over the closure of set(X) is a
-	// counterexample that needs no search.
+	// The split-half test (Theorem 15) is loop-invariant: the FD closure
+	// depends only on the question and M's FDs, not on the working set.
 	closure := fd.Closure(od.LHS.Set(), p.fds)
-	if !od.RHS.Set().SubsetOf(closure) {
-		w := core.MustPattern(attrs)
-		for _, a := range attrs {
-			if !closure.Contains(a) {
-				if err := w.SetSign(a, core.Less); err != nil {
-					return false, nil, err
+	splitRefuted := !od.RHS.Set().SubsetOf(closure)
+
+	for {
+		attrs := core.AttrsOf(working).Union(od.Attrs()).Sorted()
+		if len(attrs) > p.maxAttrs {
+			return false, nil, fmt.Errorf(
+				"prover: question needs %d entangled attributes, exceeding the limit of %d (raise with WithMaxAttrs)",
+				len(attrs), p.maxAttrs)
+		}
+
+		// widen moves the first OD of M rejecting the candidate into the
+		// working set. Such an OD cannot already be in the working set: the
+		// candidate was constructed to satisfy every working OD.
+		widen := func(w *core.Pattern) bool {
+			for i, m := range p.ods {
+				if !inWorking[i] && !w.HoldsOD(m) {
+					inWorking[i] = true
+					working = append(working, m)
+					return true
 				}
 			}
+			return false
 		}
-		return false, w, nil
-	}
 
-	// Swap half: exhaustive two-row pattern search.
-	pat := core.MustPattern(attrs)
-	cods := make([]compiledOD, 0, len(p.ods)+1)
-	for _, m := range p.ods {
-		cods = append(cods, compileOD(m, pat))
+		// Split half: when the FD set(X) → set(Y) is not implied, the
+		// Ullman two-row table over the closure of set(X) — Less on every
+		// universe attribute outside the closure — is a candidate
+		// counterexample that needs no search. The closure ran over all of
+		// M's FDs, so no working OD can reject the table; one entirely
+		// outside the universe may, and triggers widening.
+		if splitRefuted {
+			w := core.MustPattern(attrs)
+			for _, a := range attrs {
+				if !closure.Contains(a) {
+					if err := w.SetSign(a, core.Less); err != nil {
+						return false, nil, err
+					}
+				}
+			}
+			if widen(w) {
+				continue
+			}
+			return false, p.expandWitness(w, od), nil
+		}
+
+		// Swap half: exhaustive two-row pattern search against the working
+		// set.
+		pat := core.MustPattern(attrs)
+		cods := make([]compiledOD, 0, len(working)+1)
+		for _, m := range working {
+			cods = append(cods, compileOD(m, pat))
+		}
+		target := compileOD(od, pat)
+		if !p.search(pat.Signs(), 0, false, cods, target) {
+			return true, nil, nil
+		}
+		if widen(pat) {
+			continue
+		}
+		return false, p.expandWitness(pat, od), nil
 	}
-	target := compileOD(od, pat)
-	if found := p.search(pat.Signs(), 0, false, cods, target); found {
-		return false, pat, nil
+}
+
+// expandWitness lifts a validated counterexample onto the full universe of
+// M and the question, filling the attributes the restricted search never
+// assigned with Equal — the extension under which the candidate was
+// validated. Callers that realize the witness as a relation (odprove, the
+// /prove endpoint) then get every mentioned attribute as a column.
+func (p *Prover) expandWitness(w *core.Pattern, od core.OD) *core.Pattern {
+	attrs := core.AttrsOf(p.ods).Union(od.Attrs()).Sorted()
+	out := core.MustPattern(attrs)
+	for _, a := range attrs {
+		if s := w.Sign(a); s != core.Equal {
+			// Attributes can never vanish between the restricted and the
+			// full universe, so SetSign cannot fail.
+			if err := out.SetSign(a, s); err != nil {
+				panic(err)
+			}
+		}
 	}
-	return true, nil, nil
+	return out
+}
+
+// touches reports whether the OD mentions any attribute of s. An OD
+// mentioning none — including a constant declaration [] ↦ Y with Y outside
+// s — holds on any pattern that ties all its attributes, so it cannot
+// reject an Equal-extension of a candidate counterexample by itself.
+func touches(od core.OD, s core.AttrSet) bool {
+	for _, a := range od.LHS {
+		if s.Contains(a) {
+			return true
+		}
+	}
+	for _, a := range od.RHS {
+		if s.Contains(a) {
+			return true
+		}
+	}
+	return false
 }
 
 // search enumerates sign assignments depth-first over signs[k:]. seenLess

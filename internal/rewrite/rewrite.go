@@ -32,6 +32,10 @@ import (
 // Constraints carries the declared dependency knowledge available to the
 // rewriter: functional dependencies and order dependencies. The zero value
 // means no knowledge.
+//
+// A Constraints value is safe for concurrent use once its prover has been
+// materialized (call Prover once, or install one via UseProver) and that
+// prover itself is concurrency-safe; the lazy first build is not locked.
 type Constraints struct {
 	FDs []fd.FD
 	ODs []core.OD
@@ -46,6 +50,17 @@ func NewConstraints(fds []fd.FD, ods []core.OD) *Constraints {
 	all = append(all, fds...)
 	all = append(all, fd.FromODs(ods)...)
 	return &Constraints{FDs: all, ODs: ods}
+}
+
+// UseProver installs a pre-built prover, overriding the lazily constructed
+// one. The prover must have been built over the same OD set. This is how a
+// verdict cache reaches the rewriter: callers construct a prover with
+// prover.WithCache and share it (and hence its memoized verdicts) across
+// many reductions — the constraint catalog pins one generation-stamped
+// memo view this way.
+func (c *Constraints) UseProver(p *prover.Prover) *Constraints {
+	c.prov = p
+	return c
 }
 
 // Prover returns a (cached) implication prover over the OD set.

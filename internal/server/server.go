@@ -1,0 +1,313 @@
+// Package server exposes the OD constraint catalog over HTTP/JSON: the
+// network front end of the theorem-prover-as-a-service that the paper's
+// future-work section sketches for optimizer integration.
+//
+// Endpoints:
+//
+//	POST   /ods      declare OD statements ("->", "<->", "~" all accepted)
+//	GET    /ods      list declared ODs and the deflated transitive closure
+//	DELETE /ods      withdraw declared ODs
+//	POST   /prove    decide catalog ⊨ statement, with a counterexample on refutation
+//	POST   /rewrite  ReduceOrder⁺ / ReduceGroupBy a list under the catalog
+//	GET    /healthz  liveness plus catalog and memo statistics
+//
+// All handlers are safe for concurrent use; they delegate synchronization
+// to the catalog. Request and response bodies are JSON; parse errors and
+// malformed statements answer 400 with {"error": ...}.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"odlib/internal/catalog"
+	"odlib/internal/core"
+	"odlib/internal/rewrite"
+)
+
+// Server is the HTTP front end over a shared constraint catalog.
+type Server struct {
+	cat *catalog.Catalog
+	mux *http.ServeMux
+}
+
+// New builds a server over the given catalog.
+func New(cat *catalog.Catalog) *Server {
+	s := &Server{cat: cat, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ods", s.handleDeclare)
+	s.mux.HandleFunc("GET /ods", s.handleList)
+	s.mux.HandleFunc("DELETE /ods", s.handleRemove)
+	s.mux.HandleFunc("POST /prove", s.handleProve)
+	s.mux.HandleFunc("POST /rewrite", s.handleRewrite)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// maxBodyBytes bounds request bodies; constraint statements are tiny.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// odsRequest declares or withdraws constraints. Statements accepts the full
+// statement syntax and is expanded ("<->" and "~" become OD pairs); Text is
+// a newline/semicolon-separated alternative for piping constraint files.
+type odsRequest struct {
+	Statements []string `json:"statements,omitempty"`
+	Text       string   `json:"text,omitempty"`
+}
+
+// parse expands the request into plain ODs.
+func (q *odsRequest) parse() ([]core.OD, error) {
+	var ods []core.OD
+	for _, s := range q.Statements {
+		parsed, err := core.ParseStatement(s)
+		if err != nil {
+			return nil, err
+		}
+		ods = append(ods, parsed...)
+	}
+	if q.Text != "" {
+		parsed, err := core.ParseStatements(q.Text)
+		if err != nil {
+			return nil, err
+		}
+		ods = append(ods, parsed...)
+	}
+	if len(ods) == 0 {
+		return nil, fmt.Errorf("no statements given")
+	}
+	return ods, nil
+}
+
+type declareResponse struct {
+	Added      int    `json:"added"`
+	Declared   int    `json:"declared"`
+	Closure    int    `json:"closure"`
+	Generation uint64 `json:"generation"`
+}
+
+type removeResponse struct {
+	Removed    int    `json:"removed"`
+	Declared   int    `json:"declared"`
+	Closure    int    `json:"closure"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleDeclare(w http.ResponseWriter, r *http.Request) {
+	var req odsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ods, err := req.parse()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	added, st := s.cat.AddStamped(ods...)
+	writeJSON(w, http.StatusOK, declareResponse{
+		Added: added, Declared: st.Declared, Closure: st.Closure, Generation: st.Generation,
+	})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req odsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ods, err := req.parse()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	removed, st := s.cat.RemoveStamped(ods...)
+	writeJSON(w, http.StatusOK, removeResponse{
+		Removed: removed, Declared: st.Declared, Closure: st.Closure, Generation: st.Generation,
+	})
+}
+
+type listResponse struct {
+	Generation uint64   `json:"generation"`
+	Declared   []string `json:"declared"`
+	Closure    []string `json:"closure"`
+}
+
+func odStrings(ods []core.OD) []string {
+	out := make([]string, len(ods))
+	for i, od := range ods {
+		out[i] = od.String()
+	}
+	return out
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	l := s.cat.Listing()
+	writeJSON(w, http.StatusOK, listResponse{
+		Generation: l.Generation,
+		Declared:   odStrings(l.Declared),
+		Closure:    odStrings(l.Closure),
+	})
+}
+
+type proveRequest struct {
+	Statement string `json:"statement"`
+}
+
+// witnessJSON is a two-row counterexample: the sign pattern per attribute
+// and a concrete integer realization, the same rendering odprove prints.
+type witnessJSON struct {
+	Pattern string            `json:"pattern"`
+	Signs   map[string]string `json:"signs"`
+	Rows    [][]int64         `json:"rows"`
+	Attrs   []string          `json:"attrs"`
+}
+
+type proveResponse struct {
+	Statement  string       `json:"statement"`
+	Implied    bool         `json:"implied"`
+	Generation uint64       `json:"generation"`
+	Witness    *witnessJSON `json:"witness,omitempty"`
+}
+
+func witnessOf(p *core.Pattern) *witnessJSON {
+	if p == nil {
+		return nil
+	}
+	w := &witnessJSON{
+		Pattern: p.String(),
+		Signs:   make(map[string]string, len(p.Universe())),
+	}
+	rel := p.Relation()
+	for _, a := range p.Universe() {
+		w.Attrs = append(w.Attrs, string(a))
+		w.Signs[string(a)] = p.Sign(a).String()
+	}
+	for i := 0; i < rel.Len(); i++ {
+		row := make([]int64, 0, len(w.Attrs))
+		for _, v := range rel.Row(i) {
+			row = append(row, v.Int)
+		}
+		w.Rows = append(w.Rows, row)
+	}
+	return w
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	var req proveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ods, err := core.ParseStatement(req.Statement)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// One atomic conjunction: every expanded OD (a "<->" statement is two)
+	// is decided against the same constraint set, and the reported
+	// generation is the one the verdict was computed under.
+	ok, witness, gen, err := s.cat.ImpliesAllWitness(ods)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, proveResponse{
+		Statement:  req.Statement,
+		Implied:    ok,
+		Generation: gen,
+		Witness:    witnessOf(witness),
+	})
+}
+
+type rewriteRequest struct {
+	Order   string `json:"order,omitempty"`
+	GroupBy string `json:"groupBy,omitempty"`
+}
+
+type rewriteStep struct {
+	Rule    string `json:"rule"`
+	Segment string `json:"segment"`
+	Pos     int    `json:"pos"`
+	By      string `json:"by"`
+}
+
+type rewriteResponse struct {
+	Input      string        `json:"input"`
+	Reduced    string        `json:"reduced"`
+	Steps      []rewriteStep `json:"steps"`
+	Generation uint64        `json:"generation"`
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	var req rewriteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if (req.Order == "") == (req.GroupBy == "") {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("exactly one of \"order\" and \"groupBy\" must be set"))
+		return
+	}
+	text, group := req.Order, false
+	if req.GroupBy != "" {
+		text, group = req.GroupBy, true
+	}
+	list, err := core.ParseList(text)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var out rewrite.Result
+	var gen uint64
+	if group {
+		out, gen = s.cat.ReduceGroupByStamped(list)
+	} else if out, gen, err = s.cat.ReduceOrderStamped(list); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := rewriteResponse{
+		Input:      out.Input.String(),
+		Reduced:    out.Reduced.String(),
+		Steps:      []rewriteStep{},
+		Generation: gen,
+	}
+	for _, st := range out.Steps {
+		resp.Steps = append(resp.Steps, rewriteStep{
+			Rule: st.Rule, Segment: st.Seg.String(), Pos: st.Pos, By: st.By.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthzResponse struct {
+	OK      bool          `json:"ok"`
+	Catalog catalog.Stats `json:"catalog"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{OK: true, Catalog: s.cat.Stats()})
+}

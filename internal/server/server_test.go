@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"odlib/internal/catalog"
+)
+
+// call issues a JSON request against the test server and decodes the reply.
+func call(t *testing.T, ts *httptest.Server, method, path string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.URL+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestEndToEnd drives declare → list → prove → rewrite → remove → prove
+// through real HTTP, the acceptance flow for odserve.
+func TestEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(New(catalog.New()))
+	defer ts.Close()
+
+	// Health starts clean.
+	var health struct {
+		OK      bool          `json:"ok"`
+		Catalog catalog.Stats `json:"catalog"`
+	}
+	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 || !health.OK {
+		t.Fatalf("healthz = %d %+v", code, health)
+	}
+
+	// Declare: one plain OD and one equivalence (expands to two ODs).
+	var changed struct {
+		Added      int    `json:"added"`
+		Declared   int    `json:"declared"`
+		Closure    int    `json:"closure"`
+		Generation uint64 `json:"generation"`
+	}
+	code := call(t, ts, "POST", "/ods", map[string]any{
+		"statements": []string{"[month] -> [quarter]"},
+		"text":       "[B] -> [C]\n[A] -> [B]",
+	}, &changed)
+	if code != 200 || changed.Added != 3 || changed.Declared != 3 {
+		t.Fatalf("declare = %d %+v", code, changed)
+	}
+	if changed.Closure != 4 {
+		t.Fatalf("closure = %d, want 4 (the 3 declared plus the transitive [A] -> [C])", changed.Closure)
+	}
+
+	// List shows declared and derived constraints.
+	var list struct {
+		Generation uint64   `json:"generation"`
+		Declared   []string `json:"declared"`
+		Closure    []string `json:"closure"`
+	}
+	if code := call(t, ts, "GET", "/ods", nil, &list); code != 200 {
+		t.Fatalf("list = %d", code)
+	}
+	if len(list.Declared) != 3 {
+		t.Fatalf("declared = %v", list.Declared)
+	}
+	found := false
+	for _, s := range list.Closure {
+		if s == "[A] -> [C]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("closure %v is missing the derived [A] -> [C]", list.Closure)
+	}
+
+	// Prove an implied statement.
+	var prove struct {
+		Implied bool `json:"implied"`
+		Witness *struct {
+			Pattern string            `json:"pattern"`
+			Signs   map[string]string `json:"signs"`
+			Rows    [][]int64         `json:"rows"`
+		} `json:"witness"`
+	}
+	code = call(t, ts, "POST", "/prove", map[string]string{
+		"statement": "[year, quarter, month] <-> [year, month]",
+	}, &prove)
+	if code != 200 || !prove.Implied {
+		t.Fatalf("prove implied = %d %+v", code, prove)
+	}
+
+	// Prove a refuted statement: needs a counterexample.
+	code = call(t, ts, "POST", "/prove", map[string]string{"statement": "[quarter] -> [month]"}, &prove)
+	if code != 200 || prove.Implied {
+		t.Fatalf("prove refuted = %d %+v", code, prove)
+	}
+	if prove.Witness == nil || len(prove.Witness.Rows) != 2 {
+		t.Fatalf("refutation lacks a two-row witness: %+v", prove.Witness)
+	}
+
+	// Rewrite: the paper's Example 1 reduction.
+	var rw struct {
+		Input   string `json:"input"`
+		Reduced string `json:"reduced"`
+		Steps   []struct {
+			Rule string `json:"rule"`
+		} `json:"steps"`
+	}
+	code = call(t, ts, "POST", "/rewrite", map[string]string{"order": "[year, quarter, month]"}, &rw)
+	if code != 200 || rw.Reduced != "[year, month]" {
+		t.Fatalf("rewrite = %d %+v", code, rw)
+	}
+	if len(rw.Steps) != 1 || rw.Steps[0].Rule != "od-left-eliminate" {
+		t.Fatalf("rewrite steps = %+v", rw.Steps)
+	}
+
+	// GROUP BY reduction goes through the FD route.
+	code = call(t, ts, "POST", "/rewrite", map[string]string{"groupBy": "[month, quarter, year]"}, &rw)
+	if code != 200 || rw.Reduced != "[month, year]" {
+		t.Fatalf("groupBy rewrite = %d %+v", code, rw)
+	}
+
+	// Remove a premise; the derived OD and the equivalence must fall.
+	var removed struct {
+		Removed    int    `json:"removed"`
+		Generation uint64 `json:"generation"`
+	}
+	code = call(t, ts, "DELETE", "/ods", map[string]any{"statements": []string{"[month] -> [quarter]"}}, &removed)
+	if code != 200 || removed.Removed != 1 {
+		t.Fatalf("remove = %d %+v", code, removed)
+	}
+	code = call(t, ts, "POST", "/prove", map[string]string{
+		"statement": "[year, quarter, month] <-> [year, month]",
+	}, &prove)
+	if code != 200 || prove.Implied {
+		t.Fatalf("prove after remove = %d %+v; the memo must have been invalidated", code, prove)
+	}
+
+	// Health reflects the traffic.
+	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if health.Catalog.Declared != 2 || health.Catalog.Generation < 2 {
+		t.Fatalf("healthz catalog = %+v", health.Catalog)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(catalog.New()))
+	defer ts.Close()
+
+	cases := []struct {
+		method, path string
+		body         any
+	}{
+		{"POST", "/ods", map[string]any{"statements": []string{"not an od"}}},
+		{"POST", "/ods", map[string]any{}},
+		{"POST", "/ods", map[string]any{"unknown": 1}},
+		{"POST", "/prove", map[string]string{"statement": "[A ->"}},
+		{"POST", "/rewrite", map[string]string{}},
+		{"POST", "/rewrite", map[string]string{"order": "[A]", "groupBy": "[B]"}},
+		{"POST", "/rewrite", map[string]string{"order": "[1bad]"}},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := call(t, ts, c.method, c.path, c.body, &e); code != 400 {
+			t.Errorf("%s %s %v: status = %d, want 400", c.method, c.path, c.body, code)
+		} else if e.Error == "" {
+			t.Errorf("%s %s %v: missing error message", c.method, c.path, c.body)
+		}
+	}
+
+	// Wrong method on a known path 405s via the method-aware mux.
+	resp, err := ts.Client().Get(ts.URL + "/prove")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /prove = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentTraffic exercises the daemon the way an optimizer fleet
+// would: many goroutines proving and rewriting while constraints churn.
+func TestConcurrentTraffic(t *testing.T) {
+	ts := httptest.NewServer(New(catalog.New()))
+	defer ts.Close()
+
+	call(t, ts, "POST", "/ods", map[string]any{"statements": []string{"[A] -> [B]", "[B] -> [C]"}}, nil)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < 25; i++ {
+				var body bytes.Buffer
+				var req *http.Request
+				var err error
+				switch (g + i) % 3 {
+				case 0:
+					fmt.Fprintf(&body, `{"statement": "[A] -> [C]"}`)
+					req, err = http.NewRequest("POST", ts.URL+"/prove", &body)
+				case 1:
+					fmt.Fprintf(&body, `{"order": "[A, B, C]"}`)
+					req, err = http.NewRequest("POST", ts.URL+"/rewrite", &body)
+				default:
+					fmt.Fprintf(&body, `{"statements": ["[G%d] -> [H%d]"]}`, g, i)
+					req, err = http.NewRequest("POST", ts.URL+"/ods", &body)
+				}
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var health struct {
+		OK      bool          `json:"ok"`
+		Catalog catalog.Stats `json:"catalog"`
+	}
+	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 || !health.OK {
+		t.Fatalf("healthz after traffic = %d %+v", code, health)
+	}
+}

@@ -28,6 +28,7 @@ package odlib
 
 import (
 	"odlib/internal/armstrong"
+	"odlib/internal/catalog"
 	"odlib/internal/core"
 	"odlib/internal/discover"
 	"odlib/internal/inference"
@@ -139,4 +140,17 @@ func DiscoverODs(r *Relation) ([]OD, error) {
 // verified proof; see inference.Builder for the available theorem steps.
 func Prove(assumptions []OD, derive func(*ProofBuilder) int) (*Proof, error) {
 	return inference.ProveTheorem(assumptions, derive)
+}
+
+// Catalog is a thread-safe OD constraint catalog with eagerly maintained
+// transitive closure and memoized prover verdicts: the long-lived, shared
+// form of Reasoner that concurrent queries consult at optimization time.
+// cmd/odserve exposes one over HTTP.
+type Catalog = catalog.Catalog
+
+// NewCatalog creates an empty concurrent constraint catalog.
+func NewCatalog(constraints ...OD) *Catalog {
+	c := catalog.New()
+	c.Add(constraints...)
+	return c
 }

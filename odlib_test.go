@@ -52,6 +52,29 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+func TestFacadeCatalog(t *testing.T) {
+	constraints, err := ParseConstraints("[A] -> [B]; [B] -> [C]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog(constraints...)
+	ok, err := c.Implies(NewOD(L("A"), L("C")))
+	if err != nil || !ok {
+		t.Errorf("catalog should imply the transitive [A] -> [C]: %v %v", ok, err)
+	}
+	res, err := c.ReduceOrder(L("A", "B", "C"))
+	if err != nil || !res.Reduced.Equal(L("A")) {
+		t.Errorf("catalog ReduceOrder = %v, %v; want [A]", res.Reduced, err)
+	}
+	if c.Remove(NewOD(L("B"), L("C"))) != 1 {
+		t.Error("Remove should withdraw the declared OD")
+	}
+	ok, err = c.Implies(NewOD(L("A"), L("C")))
+	if err != nil || ok {
+		t.Errorf("catalog must forget the derived OD after removal: %v %v", ok, err)
+	}
+}
+
 func TestFacadeArmstrong(t *testing.T) {
 	constraints, err := ParseConstraints("[A] -> [B]")
 	if err != nil {
