@@ -48,6 +48,45 @@ func TestCatalogExperimentJSON(t *testing.T) {
 	}
 }
 
+// TestBatchExperimentJSON runs the batched-prove experiment end to end: a
+// real HTTP daemon over an 8-shard router, Zipf-distributed prove traffic,
+// single-statement versus /prove/batch. The speedup must be present and
+// positive; the ≥5x floor is reported by the experiment itself (and gated in
+// CI), not asserted here, so a loaded runner cannot turn a measurement into
+// a test failure.
+func TestBatchExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "batch", "-json", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "BENCH_batch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Experiment string `json:"experiment"`
+		Metrics    []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("BENCH_batch.json is not valid JSON: %v", err)
+	}
+	byName := map[string]float64{}
+	for _, m := range res.Metrics {
+		byName[m.Name] = m.Value
+	}
+	for _, want := range []string{"single/stmts_per_sec", "batched/stmts_per_sec", "speedup"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("metric %q missing from %v", want, byName)
+		}
+	}
+	if byName["speedup"] <= 1 {
+		t.Errorf("speedup = %.1f, want > 1 (batching must not be slower)", byName["speedup"])
+	}
+}
+
 // TestProverExperimentJSON smoke-tests another experiment through the -json
 // path to ensure the flag is not catalog-specific.
 func TestProverExperimentJSON(t *testing.T) {

@@ -2,23 +2,30 @@
 // daemon — the theorem prover "efficient enough to be usable by a query
 // optimizer" that the paper leaves as future work, packaged the way a DBMS
 // would consume it: declare constraints once, then hit the memoized prover
-// from many concurrent sessions.
+// from many concurrent sessions. With a data directory the catalog is
+// durable: every declare/remove is write-ahead logged and snapshotted, so a
+// restarted daemon serves the identical constraint set and verdicts.
 //
 // Usage:
 //
 //	odserve -addr :8080
 //	odserve -addr :8080 -ods constraints.txt -memo 65536
+//	odserve -addr :8080 -data-dir /var/lib/odserve -snapshot-every 1024
+//	odserve -addr :8080 -data-dir /var/lib/odserve -fsync=false -shard-by-prefix
 //
 // Endpoints (see internal/server):
 //
-//	curl -X POST localhost:8080/ods -d '{"statements": ["[month] -> [quarter]"]}'
+//	curl -X POST localhost:8080/ods -d '{"statements": ["[month] -> [quarter]"], "schema": "sales"}'
 //	curl localhost:8080/ods
+//	curl -X POST localhost:8080/ods/batch -d '{"declare": ["[a] -> [b]", "[b] -> [c]"]}'
 //	curl -X POST localhost:8080/prove -d '{"statement": "[year, quarter, month] <-> [year, month]"}'
+//	curl -X POST localhost:8080/prove/batch -d '{"statements": ["[a] -> [c]", "[c] -> [a]"]}'
 //	curl -X POST localhost:8080/rewrite -d '{"order": "[year, quarter, month]"}'
+//	curl -X POST localhost:8080/snapshot
 //	curl localhost:8080/healthz
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// requests and closing shard stores before exiting.
 package main
 
 import (
@@ -37,7 +44,9 @@ import (
 	"odlib/internal/catalog"
 	"odlib/internal/core"
 	"odlib/internal/prover"
+	"odlib/internal/router"
 	"odlib/internal/server"
+	"odlib/internal/store"
 )
 
 func main() {
@@ -50,24 +59,49 @@ func main() {
 // run starts the daemon and blocks until shutdown. When ready is non-nil it
 // receives the bound address once the listener is up (used by tests to talk
 // to a daemon on a kernel-assigned port).
-func run(args []string, ready chan<- string) error {
+func run(args []string, ready chan<- string) (err error) {
 	fs := flag.NewFlagSet("odserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	odsFile := fs.String("ods", "", "file of OD statements to preload")
-	memo := fs.Int("memo", catalog.DefaultMemoCapacity, "verdict memo capacity")
+	odsFile := fs.String("ods", "", "file of OD statements to preload (skipped when the data dir recovered state)")
+	memo := fs.Int("memo", catalog.DefaultMemoCapacity, "verdict memo capacity per shard")
 	maxAttrs := fs.Int("maxattrs", prover.DefaultMaxAttrs, "attribute limit per implication question")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	dataDir := fs.String("data-dir", "", "root of per-shard WAL+snapshot state; empty runs in-memory")
+	snapshotEvery := fs.Int("snapshot-every", 1024, "automatic snapshot after this many WAL records per shard; 0 = manual only")
+	fsync := fs.Bool("fsync", true, "fsync every WAL group commit before acknowledging")
+	shardByPrefix := fs.Bool("shard-by-prefix", false, "derive shard keys from attribute-name prefixes (before the first underscore)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cat := catalog.New(catalog.WithMemoCapacity(*memo), catalog.WithMaxAttrs(*maxAttrs))
+	rt, err := router.Open(router.Options{
+		DataDir:       *dataDir,
+		Store:         store.Options{Fsync: *fsync, SnapshotEvery: *snapshotEvery},
+		Catalog:       []catalog.Option{catalog.WithMemoCapacity(*memo), catalog.WithMaxAttrs(*maxAttrs)},
+		ShardByPrefix: *shardByPrefix,
+	})
+	if err != nil {
+		return err
+	}
+	// One close on every exit path, reporting its error when nothing else
+	// already failed.
+	defer func() {
+		if cerr := rt.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing shard stores: %w", cerr)
+		}
+	}()
+	logRecovery(rt)
+
 	if *odsFile != "" {
-		n, err := preload(cat, *odsFile)
+		n, skipped, err := preload(rt, *odsFile)
 		if err != nil {
 			return err
 		}
-		log.Printf("preloaded %d ODs from %s (closure size %d)", n, *odsFile, cat.Stats().Closure)
+		if skipped {
+			log.Printf("skipping preload of %s: data dir recovered a non-empty catalog", *odsFile)
+		} else {
+			log.Printf("preloaded %d ODs from %s", n, *odsFile)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -75,7 +109,7 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           server.New(cat),
+		Handler:           server.New(rt),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -106,15 +140,51 @@ func run(args []string, ready chan<- string) error {
 	return nil
 }
 
-// preload declares the statements of a constraints file into the catalog.
-func preload(cat *catalog.Catalog, path string) (int, error) {
+// logRecovery reports what the router found on disk, one line per shard.
+func logRecovery(rt *router.Router) {
+	for name, st := range rt.Stats() {
+		if st.Store == nil {
+			continue
+		}
+		rec := st.Store.Recovery
+		display := name
+		if display == router.DefaultShard {
+			display = "(default)"
+		}
+		log.Printf("shard %s recovered: %d ODs from snapshot seq %d, %d WAL records replayed, %d torn bytes truncated",
+			display, rec.SnapshotODs, rec.SnapshotSeq, rec.Replayed, rec.TornBytes)
+	}
+}
+
+// preload declares the statements of a constraints file through the normal
+// (logged) declare path, unless the data dir already recovered constraints —
+// replaying the same preload on every boot would grow the WAL with
+// duplicates for nothing.
+func preload(rt *router.Router, path string) (int, bool, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	ods, err := core.ParseStatements(string(b))
 	if err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return 0, false, fmt.Errorf("%s: %w", path, err)
 	}
-	return cat.Add(ods...), nil
+	for _, st := range rt.Stats() {
+		if st.Catalog.Declared > 0 {
+			return 0, true, nil
+		}
+	}
+	ops := make([]router.BatchOp, len(ods))
+	for i, od := range ods {
+		ops[i] = router.BatchOp{ODs: []core.OD{od}}
+	}
+	res, err := rt.ApplyBatch(ops)
+	if err != nil {
+		return 0, false, err
+	}
+	added := 0
+	for _, m := range res {
+		added += m.Added
+	}
+	return added, false, nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -10,8 +12,82 @@ import (
 	"testing"
 	"time"
 
-	"odlib/internal/catalog"
+	"odlib/internal/router"
 )
+
+// startDaemon boots run() in a goroutine and waits for the listener.
+func startDaemon(t *testing.T, args ...string) (base string, done chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done = make(chan error, 1)
+	go func() { done <- run(args, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// stopDaemon SIGTERMs the process (only one daemon runs at a time in this
+// package's tests) and waits for a clean exit.
+func stopDaemon(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+}
+
+func postJSON(t *testing.T, url, body string, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type healthz struct {
+	OK     bool                         `json:"ok"`
+	Shards map[string]router.ShardStats `json:"shards"`
+	Totals struct {
+		Shards   int `json:"shards"`
+		Declared int `json:"declared"`
+	} `json:"totals"`
+}
 
 // TestDaemonLifecycle boots the real daemon on a kernel-assigned port with a
 // preloaded constraint file, drives it over HTTP, and shuts it down with
@@ -24,66 +100,162 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ready := make(chan string, 1)
-	done := make(chan error, 1)
-	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-ods", file, "-drain", "2s"}, ready)
-	}()
+	base, done := startDaemon(t, "-addr", "127.0.0.1:0", "-ods", file, "-drain", "2s")
 
-	var addr string
-	select {
-	case addr = <-ready:
-	case err := <-done:
-		t.Fatalf("daemon exited early: %v", err)
-	case <-time.After(5 * time.Second):
-		t.Fatal("daemon never became ready")
-	}
-	base := "http://" + addr
-
-	var health struct {
-		OK      bool          `json:"ok"`
-		Catalog catalog.Stats `json:"catalog"`
-	}
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if !health.OK || health.Catalog.Declared != 3 {
+	var health healthz
+	getJSON(t, base+"/healthz", &health)
+	if !health.OK || health.Totals.Declared != 3 {
 		t.Fatalf("healthz = %+v; want 3 preloaded ODs (the <-> expands to two)", health)
 	}
 
 	var prove struct {
 		Implied bool `json:"implied"`
 	}
-	resp, err = http.Post(base+"/prove", "application/json",
-		strings.NewReader(`{"statement": "[d_date_sk] -> [quarter, month]"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&prove); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+	postJSON(t, base+"/prove", `{"statement": "[d_date_sk] -> [quarter, month]"}`, &prove)
 	if prove.Implied {
 		t.Fatal("[d_date_sk] -> [quarter, month] should not be implied")
 	}
 
-	// SIGTERM must drain and exit cleanly.
-	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+	stopDaemon(t, done)
+}
+
+// TestWarmStartRestart is the durability acceptance test: populate a daemon
+// with a data dir over several shards, kill it, restart it against the same
+// dir, and require the identical OD listing and prove verdicts — then force
+// a snapshot, kill, restart, and require the same again (snapshot + empty
+// WAL path).
+func TestWarmStartRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-drain", "2s", "-snapshot-every", "4"}
+
+	base, done := startDaemon(t, args...)
+	postJSON(t, base+"/ods", `{"statements": ["[month] -> [quarter]", "[week] -> [month]"]}`, nil)
+	postJSON(t, base+"/ods/batch",
+		`{"schema": "sales", "declare": ["[s_a] -> [s_b]", "[s_b] -> [s_c]", "[s_c] -> [s_d]"]}`, nil)
+	postJSON(t, base+"/ods", `{"schema": "inv", "statements": ["[bin] -> [aisle]"]}`, nil)
+	// Withdraw one, so recovery must also replay a remove record.
+	req, err := http.NewRequest("DELETE", base+"/ods", strings.NewReader(`{"statements": ["[week] -> [month]"]}`))
+	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("daemon exited with %v, want clean shutdown", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("daemon did not shut down after SIGTERM")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
 	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE /ods = %d", resp.StatusCode)
+	}
+
+	proveStatements := []string{
+		"[s_a] -> [s_d]",          // implied transitively on shard sales
+		"[s_d] -> [s_a]",          // refuted
+		"[month] -> [quarter]",    // implied on default
+		"[week] -> [quarter]",     // refuted: the link was withdrawn
+		"[year, quarter, month] <-> [year, month]", // implied via [month] -> [quarter]
+	}
+	capture := func(base string) (listing map[string]any, verdicts []bool) {
+		var all struct {
+			Shards map[string]struct {
+				Declared []string `json:"declared"`
+				Closure  []string `json:"closure"`
+			} `json:"shards"`
+		}
+		getJSON(t, base+"/ods", &all)
+		listing = map[string]any{}
+		for name, l := range all.Shards {
+			listing[name] = fmt.Sprint(l.Declared, l.Closure)
+		}
+		for i, stmt := range proveStatements {
+			schema := ""
+			if i < 2 {
+				schema = "sales"
+			}
+			var prove struct {
+				Implied bool `json:"implied"`
+			}
+			b, _ := json.Marshal(map[string]string{"schema": schema, "statement": stmt})
+			postJSON(t, base+"/prove", string(b), &prove)
+			verdicts = append(verdicts, prove.Implied)
+		}
+		return listing, verdicts
+	}
+
+	wantListing, wantVerdicts := capture(base)
+	if want := []bool{true, false, true, false, true}; fmt.Sprint(wantVerdicts) != fmt.Sprint(want) {
+		t.Fatalf("pre-restart verdicts = %v, want %v", wantVerdicts, want)
+	}
+	stopDaemon(t, done)
+
+	// Restart 1: recovery from snapshot + WAL replay.
+	base, done = startDaemon(t, args...)
+	gotListing, gotVerdicts := capture(base)
+	if fmt.Sprint(gotListing) != fmt.Sprint(wantListing) {
+		t.Fatalf("listing drifted across restart:\n  before: %v\n  after:  %v", wantListing, gotListing)
+	}
+	if fmt.Sprint(gotVerdicts) != fmt.Sprint(wantVerdicts) {
+		t.Fatalf("verdicts drifted across restart: %v -> %v", wantVerdicts, gotVerdicts)
+	}
+	var health healthz
+	getJSON(t, base+"/healthz", &health)
+	if health.Totals.Shards != 3 {
+		t.Fatalf("recovered %d shards, want 3", health.Totals.Shards)
+	}
+	for name, sh := range health.Shards {
+		if sh.Store == nil {
+			t.Fatalf("shard %q has no store stats", name)
+		}
+		rec := sh.Store.Recovery
+		if rec.SnapshotODs == 0 && rec.Replayed == 0 {
+			t.Fatalf("shard %q recovered nothing: %+v", name, rec)
+		}
+	}
+
+	// Force snapshots, restart again: recovery must now come from snapshots.
+	postJSON(t, base+"/snapshot", `{}`, nil)
+	stopDaemon(t, done)
+
+	base, done = startDaemon(t, args...)
+	gotListing, gotVerdicts = capture(base)
+	if fmt.Sprint(gotListing) != fmt.Sprint(wantListing) || fmt.Sprint(gotVerdicts) != fmt.Sprint(wantVerdicts) {
+		t.Fatalf("state drifted across snapshot restart")
+	}
+	getJSON(t, base+"/healthz", &health)
+	for name, sh := range health.Shards {
+		if rec := sh.Store.Recovery; rec.Replayed != 0 || rec.SnapshotODs == 0 {
+			t.Fatalf("shard %q should recover purely from its snapshot, got %+v", name, rec)
+		}
+	}
+	stopDaemon(t, done)
+}
+
+// TestPreloadSkippedOnWarmStart: the -ods file must not re-log its
+// constraints when the data dir already recovered them.
+func TestPreloadSkippedOnWarmStart(t *testing.T) {
+	dataDir := t.TempDir()
+	file := filepath.Join(t.TempDir(), "ods.txt")
+	if err := os.WriteFile(file, []byte("[A] -> [B]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-ods", file, "-drain", "2s"}
+
+	base, done := startDaemon(t, args...)
+	var health healthz
+	getJSON(t, base+"/healthz", &health)
+	if health.Totals.Declared != 1 {
+		t.Fatalf("preload declared %d", health.Totals.Declared)
+	}
+	stopDaemon(t, done)
+
+	base, done = startDaemon(t, args...)
+	getJSON(t, base+"/healthz", &health)
+	if health.Totals.Declared != 1 {
+		t.Fatalf("after warm start declared %d, want 1", health.Totals.Declared)
+	}
+	if got := health.Shards[""].Store.WALRecords; got != 1 {
+		t.Fatalf("WAL holds %d records after warm start, want 1 (no duplicate preload)", got)
+	}
+	stopDaemon(t, done)
 }
 
 func TestPreloadErrors(t *testing.T) {

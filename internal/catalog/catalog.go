@@ -102,24 +102,12 @@ func (c *Catalog) Add(ods ...core.OD) int {
 // AddStamped is Add plus the post-mutation catalog stats, captured under the
 // same lock acquisition — the returned generation is the one this mutation
 // produced (or left in place, when nothing was effectively added), which a
-// separate Stats call cannot guarantee under concurrent mutation.
+// separate Stats call cannot guarantee under concurrent mutation. The
+// closure is extended incrementally: existing derived ODs are reused as
+// passive composition partners and only the new edges work the fixpoint.
 func (c *Catalog) AddStamped(ods ...core.OD) (int, Stats) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	added := 0
-	for _, od := range ods {
-		od = canon(od)
-		if od.Trivial() {
-			continue
-		}
-		if c.declared.add(od) {
-			added++
-		}
-	}
-	if added > 0 {
-		c.mutateLocked()
-	}
-	return added, c.statsLocked()
+	added, _, _, _, st := c.ApplyEffective([]Mutation{{ODs: ods}})
+	return added, st
 }
 
 // Remove withdraws declared ODs (canonicalized before lookup), returning how
@@ -131,38 +119,114 @@ func (c *Catalog) Remove(ods ...core.OD) int {
 }
 
 // RemoveStamped is Remove plus the post-mutation catalog stats, captured
-// under the same lock acquisition.
+// under the same lock acquisition. Closure maintenance is incremental: only
+// derived ODs whose source backward-reaches a removed premise in the
+// inflated-edge graph are revisited (see shrinkClosure); the rest of the
+// closure is reused verbatim instead of recomputed.
 func (c *Catalog) RemoveStamped(ods ...core.OD) (int, Stats) {
+	_, removed, _, _, st := c.ApplyEffective([]Mutation{{Remove: true, ODs: ods}})
+	return removed, st
+}
+
+// Mutation is one step of a batch application: declare or withdraw ODs.
+type Mutation struct {
+	Remove bool
+	ODs    []core.OD
+}
+
+// Apply runs a sequence of declare/remove steps under one lock acquisition,
+// one memo invalidation and one closure refresh — the apply-without-relog
+// primitive behind WAL replay (internal/store hands the recovered records
+// straight here, nothing is re-logged) and the batch endpoints. Steps apply
+// in order, so a batch may declare and later withdraw the same OD. It
+// returns the effective added and removed counts plus post-batch stats.
+func (c *Catalog) Apply(muts []Mutation) (added, removed int, st Stats) {
+	added, removed, _, _, st = c.ApplyEffective(muts)
+	return added, removed, st
+}
+
+// ApplyEffective is Apply plus the net effect on the declared set: netAdded
+// holds ODs present after the batch that were absent before, netRemoved the
+// reverse. An OD declared and withdrawn within one batch appears in
+// neither. The net lists are what a caller needs to roll the batch back —
+// applying {remove netAdded; declare netRemoved} restores the pre-batch
+// declared set exactly — which the router does when a batch turns out not
+// to be durable.
+func (c *Catalog) ApplyEffective(muts []Mutation) (added, removed int, netAdded, netRemoved []core.OD, st Stats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	removed := 0
-	for _, od := range ods {
-		if c.declared.remove(canon(od)) {
-			removed++
+	// delta tracks each touched OD's net membership change: +1 present now
+	// but not before, -1 the reverse, 0 back where it started. Effective
+	// ops on one OD strictly alternate, so delta stays in {-1, 0, +1}.
+	type effect struct {
+		od    core.OD
+		delta int
+	}
+	net := make(map[string]*effect)
+	touch := func(od core.OD, d int) {
+		e, ok := net[od.Key()]
+		if !ok {
+			e = &effect{od: od}
+			net[od.Key()] = e
+		}
+		e.delta += d
+	}
+	for _, m := range muts {
+		for _, od := range m.ODs {
+			od = canon(od)
+			if m.Remove {
+				if c.declared.remove(od) {
+					removed++
+					touch(od, -1)
+				}
+			} else if !od.Trivial() && c.declared.add(od) {
+				added++
+				touch(od, +1)
+			}
 		}
 	}
-	if removed > 0 {
-		c.mutateLocked()
+	for _, e := range net {
+		switch {
+		case e.delta > 0:
+			netAdded = append(netAdded, e.od)
+		case e.delta < 0:
+			netRemoved = append(netRemoved, e.od)
+		}
 	}
-	return removed, c.statsLocked()
+	switch {
+	case added == 0 && removed == 0:
+	case removed == 0:
+		c.gen = c.memo.Invalidate()
+		c.closure = extendClosure(c.closure, netAdded)
+		c.refreshLocked()
+	case added == 0:
+		c.gen = c.memo.Invalidate()
+		c.closure = shrinkClosure(c.closure, netRemoved, c.declared.slice())
+		c.refreshLocked()
+	default:
+		// Mixed batches interleave adds and removes; one full recompute is
+		// still a single rebuild for the whole batch.
+		c.gen = c.memo.Invalidate()
+		c.rebuildLocked()
+	}
+	return added, removed, netAdded, netRemoved, c.statsLocked()
 }
 
-// mutateLocked records an effective mutation: new generation, rebuilt
-// closure and prover, all memoized verdicts invalidated. Callers hold the
-// write lock.
-func (c *Catalog) mutateLocked() {
-	c.gen = c.memo.Invalidate()
-	c.rebuildLocked()
-}
-
-// rebuildLocked recomputes the closure and the memo-backed prover and
-// rewrite constraints from the declared set. Everything built here is
-// immutable afterwards (a later mutation assigns fresh values instead of
-// modifying these), which is what lets readers snapshot it and work outside
-// the lock. The prover's cache view is pinned to the current generation.
+// rebuildLocked recomputes the closure from scratch and refreshes the
+// derived read state.
 func (c *Catalog) rebuildLocked() {
+	c.closure = transitiveClosure(c.declared.slice())
+	c.refreshLocked()
+}
+
+// refreshLocked rebuilds the derived read state — sorted listings and the
+// memo-backed prover and rewrite constraints — from the declared set and the
+// (already maintained) closure. Everything built here is immutable
+// afterwards (a later mutation assigns fresh values instead of modifying
+// these), which is what lets readers snapshot it and work outside the lock.
+// The prover's cache view is pinned to the current generation.
+func (c *Catalog) refreshLocked() {
 	declared := c.declared.slice()
-	c.closure = transitiveClosure(declared)
 	c.declaredList = declared
 	c.deflatedList = Deflate(c.closure.slice())
 	c.prov = prover.New(declared,
@@ -317,6 +381,41 @@ func (c *Catalog) ImpliesAllWitness(ods []core.OD) (bool, *core.Pattern, uint64,
 		}
 	}
 	return true, nil, s.gen, nil
+}
+
+// ProveResult is one verdict of a batch prove: implied, refuted with a
+// witness, or individually failed (attribute-limit errors poison only their
+// own statement, not the batch).
+type ProveResult struct {
+	Implied bool
+	Witness *core.Pattern
+	Err     error
+}
+
+// ProveEach decides many statements — each a conjunction of ODs, as produced
+// by core.ParseStatement — against a single catalog snapshot: one read-lock
+// acquisition and one constraint generation for the whole batch, which is
+// what lets /prove/batch amortize snapshot and transport costs across
+// statements while staying atomic.
+func (c *Catalog) ProveEach(qs [][]core.OD) ([]ProveResult, uint64) {
+	s := c.snapshot()
+	out := make([]ProveResult, len(qs))
+	for i, ods := range qs {
+		res := ProveResult{Implied: true}
+		for _, od := range ods {
+			ok, w, err := s.impliesWitness(od)
+			if err != nil {
+				res = ProveResult{Err: err}
+				break
+			}
+			if !ok {
+				res = ProveResult{Witness: w}
+				break
+			}
+		}
+		out[i] = res
+	}
+	return out, s.gen
 }
 
 // ImpliesAll reports whether every OD of the slice is implied, atomically.

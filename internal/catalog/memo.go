@@ -28,8 +28,9 @@ const memoShards = 16
 //
 // Invalidate advances the current generation — an O(1) mutation cost paid
 // instead on later writes, which evict entries from older generations first
-// when a shard fills. The catalog invalidates on every effective constraint
-// mutation and pins each rebuilt prover to the new generation via At.
+// when a shard fills, then the cheapest live verdicts (see Put). The catalog
+// invalidates on every effective constraint mutation and pins each rebuilt
+// prover to the new generation via At.
 //
 // The memo and its views are safe for concurrent use.
 type VerdictMemo struct {
@@ -102,11 +103,15 @@ func (v MemoView) Get(key string) (prover.Verdict, bool) {
 // rules are monotonic and race-free without consulting the current
 // generation for the common paths: a Put never displaces an entry from a
 // newer generation, and eviction (shard full) removes strictly older
-// entries first, then — only for a view that is still current — arbitrary
-// same-generation victims (map iteration order serves as the random
-// replacement policy; for memoized theorem-prover verdicts, recomputation
-// is the only cost of a bad victim). A verdict that finds no room is
-// dropped.
+// entries first — they can never be read again. When the shard is still
+// full, a view that is still current evicts cost-aware: the cheapest
+// resident verdict (prover.Verdict.Cost, recorded when the verdict was
+// decided) goes first, and only when the incoming verdict cost at least as
+// much — recomputing a 4-attribute answer is the smallest possible miss
+// penalty, while a near-limit refutation is worth defending. A verdict that
+// finds no room, or that is cheaper than everything resident, is dropped.
+// The victim scan is O(shard size), paid only when a full shard misses —
+// the same inserts that already paid an exponential decide.
 func (v MemoView) Put(key string, verdict prover.Verdict) {
 	s := v.m.shard(key)
 	s.mu.Lock()
@@ -132,19 +137,20 @@ func (v MemoView) Put(key string, verdict prover.Verdict) {
 			if v.gen != v.m.gen.Load() {
 				return
 			}
+			victim, vcost, found := "", uint64(0), false
 			for k, e := range s.m {
-				if len(s.m) < v.m.perCap {
-					break
-				}
 				if e.gen > v.gen {
 					continue
 				}
-				delete(s.m, k)
-				s.evictions++
+				if !found || e.v.Cost < vcost {
+					victim, vcost, found = k, e.v.Cost, true
+				}
 			}
-			if len(s.m) >= v.m.perCap {
+			if !found || vcost > verdict.Cost {
 				return
 			}
+			delete(s.m, victim)
+			s.evictions++
 		}
 	}
 	s.m[key] = memoEntry{gen: v.gen, v: verdict}

@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+// sameShardKeys returns n distinct keys that land in one memo shard.
+func sameShardKeys(t *testing.T, n int) []string {
+	t.Helper()
+	want := core.HashString("k0") % memoShards
+	keys := []string{"k0"}
+	for i := 1; len(keys) < n && i < 10_000; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if core.HashString(k)%memoShards == want {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("found only %d same-shard keys, need %d", len(keys), n)
+	}
+	return keys
+}
+
+// TestMemoCostAwareEviction pins the eviction policy: when a shard fills,
+// the cheapest live verdict is evicted first, and an incoming verdict
+// cheaper than everything resident is dropped rather than admitted.
+func TestMemoCostAwareEviction(t *testing.T) {
+	m := NewVerdictMemo(memoShards) // one entry per shard
+	keys := sameShardKeys(t, 3)
+	k1, k2 := keys[0], keys[1]
+	v := m.At(0)
+
+	v.Put(k1, prover.Verdict{Implied: true, Cost: 100})
+	if _, ok := v.Get(k1); !ok {
+		t.Fatal("k1 should be resident")
+	}
+
+	// Cheaper incoming verdict must not displace a more expensive resident.
+	v.Put(k2, prover.Verdict{Implied: true, Cost: 5})
+	if _, ok := v.Get(k2); ok {
+		t.Fatal("cheap k2 displaced expensive k1")
+	}
+	if _, ok := v.Get(k1); !ok {
+		t.Fatal("k1 should have survived the cheap insert")
+	}
+
+	// An at-least-as-expensive incoming verdict evicts the cheapest resident.
+	v.Put(k2, prover.Verdict{Implied: false, Cost: 200})
+	if _, ok := v.Get(k2); !ok {
+		t.Fatal("expensive k2 should have displaced k1")
+	}
+	if _, ok := v.Get(k1); ok {
+		t.Fatal("k1 should have been evicted as the cheapest resident")
+	}
+	if st := m.Stats(); st.Evictions == 0 {
+		t.Fatal("eviction counter never moved")
+	}
+}
+
+// TestMemoStaleBeforeCost pins the invariant ordering: dead generations are
+// evicted before any cost comparison, and a stale view cannot displace live
+// entries at all.
+func TestMemoStaleBeforeCost(t *testing.T) {
+	m := NewVerdictMemo(memoShards)
+	keys := sameShardKeys(t, 2)
+	k1, k2 := keys[0], keys[1]
+
+	old := m.At(0)
+	old.Put(k1, prover.Verdict{Implied: true, Cost: 1 << 30})
+
+	gen := m.Invalidate()
+	cur := m.At(gen)
+	// The resident k1 is from a dead generation: evicted regardless of its
+	// huge cost, even for a cost-1 incoming verdict.
+	cur.Put(k2, prover.Verdict{Implied: true, Cost: 1})
+	if _, ok := cur.Get(k2); !ok {
+		t.Fatal("stale entry should have been evicted before any cost check")
+	}
+
+	// The stale view must not displace the live entry, whatever the cost.
+	old.Put(k1, prover.Verdict{Implied: true, Cost: 1 << 40})
+	if _, ok := cur.Get(k2); !ok {
+		t.Fatal("stale writer displaced a live entry")
+	}
+	if _, ok := old.Get(k1); ok {
+		t.Fatal("stale write should have been dropped")
+	}
+}
+
+// TestMemoBounded asserts the size bound holds under arbitrary churn.
+func TestMemoBounded(t *testing.T) {
+	m := NewVerdictMemo(64)
+	v := m.At(0)
+	for i := 0; i < 10_000; i++ {
+		v.Put(fmt.Sprintf("key-%d", i), prover.Verdict{Implied: i%2 == 0, Cost: uint64(i % 17)})
+	}
+	st := m.Stats()
+	if st.Size > st.Capacity {
+		t.Fatalf("size %d exceeds capacity %d", st.Size, st.Capacity)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import "fmt"
+
+// The wire encoding of an OD is its canonical statement form, "[A, B] -> [C]"
+// — the same text ParseOD accepts and String renders. It is the stable format
+// the durability layer (internal/store) persists in WAL records and
+// snapshots, so it must round-trip exactly and never change shape across
+// versions: a WAL written by one build must replay on the next.
+
+// MarshalText implements encoding.TextMarshaler. encoding/json picks it up,
+// so an OD embeds in JSON documents as its statement string rather than as a
+// {"LHS": ..., "RHS": ...} structure whose field names would become an
+// accidental wire format.
+func (od OD) MarshalText() ([]byte, error) {
+	return []byte(od.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, parsing the statement
+// form. Only the plain "->" operator is a valid wire form: "<->" and "~"
+// expand to multiple ODs and are rejected here, as a single OD must decode
+// from a single statement.
+func (od *OD) UnmarshalText(b []byte) error {
+	parsed, err := ParseOD(string(b))
+	if err != nil {
+		return fmt.Errorf("core: decoding OD: %w", err)
+	}
+	*od = parsed
+	return nil
+}

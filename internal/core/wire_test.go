@@ -1,0 +1,51 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestODJSONRoundTrip(t *testing.T) {
+	ods := []OD{
+		{LHS: L("A", "B"), RHS: L("C")},
+		{LHS: nil, RHS: L("A")},
+		{LHS: L("d_date"), RHS: L("d_date_sk", "d_year")},
+	}
+	b, err := json.Marshal(ods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire form is the statement string (encoding/json HTML-escapes the
+	// ">" but that round-trips transparently).
+	var wire []string
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"[A, B] -> [C]", "[] -> [A]", "[d_date] -> [d_date_sk, d_year]"}
+	for i := range want {
+		if wire[i] != want[i] {
+			t.Fatalf("wire form %d = %q, want %q", i, wire[i], want[i])
+		}
+	}
+	var back []OD
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ods) {
+		t.Fatalf("decoded %d ODs, want %d", len(back), len(ods))
+	}
+	for i := range ods {
+		if !ods[i].Equal(back[i]) {
+			t.Fatalf("od %d: %s != %s", i, ods[i], back[i])
+		}
+	}
+}
+
+func TestODUnmarshalRejectsBadInput(t *testing.T) {
+	for _, bad := range []string{`"[A] <-> [B]"`, `"[A] ~ [B]"`, `"nonsense"`, `"[A] -> oops("`} {
+		var od OD
+		if err := json.Unmarshal([]byte(bad), &od); err == nil {
+			t.Fatalf("decoding %s should fail", bad)
+		}
+	}
+}

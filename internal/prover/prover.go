@@ -44,9 +44,15 @@ const DefaultMaxAttrs = 14
 // refuted with a two-row counterexample pattern. Verdicts are what the
 // prover memoizes; callers must treat the witness as read-only, since the
 // same Verdict may be served to many callers from a shared cache.
+//
+// Cost records how expensive the verdict was to compute — search nodes
+// explored divided by the number of entangled attributes, floored at 1 — so
+// bounded caches can evict cheap verdicts first: re-deriving a 4-attribute
+// answer is noise, re-running a near-limit refutation is not.
 type Verdict struct {
 	Implied bool
 	Witness *core.Pattern
+	Cost    uint64
 }
 
 // VerdictCache memoizes implication verdicts, keyed by core.OD.Key(). The
@@ -135,12 +141,12 @@ func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 	if v, ok := p.cache.Get(key); ok {
 		return v.Implied, v.Witness, nil
 	}
-	implied, witness, err := p.decide(od)
+	v, err := p.decide(od)
 	if err != nil {
 		return false, nil, err
 	}
-	p.cache.Put(key, Verdict{Implied: implied, Witness: witness})
-	return implied, witness, nil
+	p.cache.Put(key, v)
+	return v.Implied, v.Witness, nil
 }
 
 // decide answers M ⊨ od by demand-driven restriction: it reasons over a
@@ -161,7 +167,18 @@ func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 // proportional to the question rather than to the whole prescribed set —
 // essential for the long-lived catalog, where one prover serves a schema's
 // worth of constraints and most questions mention a handful of attributes.
-func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
+//
+// The returned Verdict's Cost counts the work done — search nodes plus
+// candidate validations — per entangled attribute, for cache eviction policy.
+func (p *Prover) decide(od core.OD) (Verdict, error) {
+	// explored counts search-tree nodes and widen validations; the final
+	// verdict records it normalized by the attribute count.
+	var explored uint64
+	verdict := func(implied bool, w *core.Pattern, attrs int) Verdict {
+		cost := explored / uint64(max(1, attrs))
+		return Verdict{Implied: implied, Witness: w, Cost: max(cost, 1)}
+	}
+
 	// Seed with the ODs sharing an attribute with the question.
 	working := make([]core.OD, 0, len(p.ods))
 	inWorking := make([]bool, len(p.ods))
@@ -181,7 +198,7 @@ func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
 	for {
 		attrs := core.AttrsOf(working).Union(od.Attrs()).Sorted()
 		if len(attrs) > p.maxAttrs {
-			return false, nil, fmt.Errorf(
+			return Verdict{}, fmt.Errorf(
 				"prover: question needs %d entangled attributes, exceeding the limit of %d (raise with WithMaxAttrs)",
 				len(attrs), p.maxAttrs)
 		}
@@ -191,6 +208,7 @@ func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
 		// candidate was constructed to satisfy every working OD.
 		widen := func(w *core.Pattern) bool {
 			for i, m := range p.ods {
+				explored++
 				if !inWorking[i] && !w.HoldsOD(m) {
 					inWorking[i] = true
 					working = append(working, m)
@@ -211,14 +229,14 @@ func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
 			for _, a := range attrs {
 				if !closure.Contains(a) {
 					if err := w.SetSign(a, core.Less); err != nil {
-						return false, nil, err
+						return Verdict{}, err
 					}
 				}
 			}
 			if widen(w) {
 				continue
 			}
-			return false, p.expandWitness(w, od), nil
+			return verdict(false, p.expandWitness(w, od), len(attrs)), nil
 		}
 
 		// Swap half: exhaustive two-row pattern search against the working
@@ -229,13 +247,13 @@ func (p *Prover) decide(od core.OD) (bool, *core.Pattern, error) {
 			cods = append(cods, compileOD(m, pat))
 		}
 		target := compileOD(od, pat)
-		if !p.search(pat.Signs(), 0, false, cods, target) {
-			return true, nil, nil
+		if !p.search(pat.Signs(), 0, false, cods, target, &explored) {
+			return verdict(true, nil, len(attrs)), nil
 		}
 		if widen(pat) {
 			continue
 		}
-		return false, p.expandWitness(pat, od), nil
+		return verdict(false, p.expandWitness(pat, od), len(attrs)), nil
 	}
 }
 
@@ -281,8 +299,9 @@ func touches(od core.OD, s core.AttrSet) bool {
 // records whether a non-Equal sign has been placed yet; the first one is
 // fixed to Less, exploiting negation invariance. It returns true when the
 // current assignment (completed in signs) satisfies every OD in m while
-// falsifying the target.
-func (p *Prover) search(signs []core.Sign, k int, seenLess bool, m []compiledOD, target compiledOD) bool {
+// falsifying the target. nodes counts visited tree nodes for verdict costing.
+func (p *Prover) search(signs []core.Sign, k int, seenLess bool, m []compiledOD, target compiledOD, nodes *uint64) bool {
+	*nodes++
 	if k == len(signs) {
 		if target.holds(signs) {
 			return false
@@ -295,16 +314,16 @@ func (p *Prover) search(signs []core.Sign, k int, seenLess bool, m []compiledOD,
 		return true
 	}
 	signs[k] = core.Equal
-	if p.search(signs, k+1, seenLess, m, target) {
+	if p.search(signs, k+1, seenLess, m, target, nodes) {
 		return true
 	}
 	signs[k] = core.Less
-	if p.search(signs, k+1, true, m, target) {
+	if p.search(signs, k+1, true, m, target, nodes) {
 		return true
 	}
 	if seenLess {
 		signs[k] = core.Greater
-		if p.search(signs, k+1, true, m, target) {
+		if p.search(signs, k+1, true, m, target, nodes) {
 			return true
 		}
 	}

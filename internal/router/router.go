@@ -1,0 +1,684 @@
+// Package router shards the OD constraint catalog by schema namespace: one
+// catalog.Catalog — and, when persistence is on, one internal/store WAL +
+// snapshot pair — per schema, behind a single front door.
+//
+// The paper's setting is a DBMS optimizer consulting declared constraints on
+// every query (Sections 2.3 and 6). Constraint sets of unrelated schemas
+// never interact logically — an OD over sales columns cannot entail one over
+// inventory columns it shares no attributes with — so serializing their
+// mutations behind one catalog lock, and invalidating one shared verdict
+// memo, is pure contention. The router keys requests to a shard either by an
+// explicit schema name or (opt-in) by the attribute-name prefix convention
+// of TPC-DS style schemas ("d_date", "ss_sold_date_sk" → schemas "d", "ss");
+// each shard recovers, snapshots, memoizes and advances generations
+// independently. Requests that name no shard and requests for listings and
+// stats fan out across shards and merge.
+//
+// Mutations on a shard are serialized by the shard's own mutex so that WAL
+// append order equals catalog apply order — the invariant replay depends on
+// — but the durability wait (group commit) happens after the mutex is
+// released, so concurrent writers on one shard still share fsyncs. Reads
+// never take shard mutexes at all; they ride the catalog's snapshot path.
+//
+// Visibility contract: a mutation is ACKNOWLEDGED to its caller only once
+// durable, but concurrent readers may observe it in the window between the
+// in-memory apply and the group commit — read-uncommitted, in transaction
+// terms. If the commit fails, the mutation is rolled back (see rollback)
+// and the constraint a racing reader briefly saw disappears along with
+// every verdict memoized against its generation. Publishing reads only
+// after commit (snapshot-after-durability) is queued in the ROADMAP.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"odlib/internal/catalog"
+	"odlib/internal/core"
+	"odlib/internal/store"
+)
+
+// errSchema tags invalid-schema errors; the HTTP layer maps them to 400.
+var errSchema = errors.New("invalid schema")
+
+// IsSchemaError reports whether err stems from an invalid schema name.
+func IsSchemaError(err error) bool { return errors.Is(err, errSchema) }
+
+// DefaultShard is the shard of requests that name no schema; its directory
+// on disk is dirDefault.
+const DefaultShard = ""
+
+// dirDefault is the on-disk directory name of the default shard. The "@"
+// cannot appear in a valid schema name, so it never collides.
+const dirDefault = "@default"
+
+// Options configures a Router.
+type Options struct {
+	// DataDir roots the per-shard store directories; empty runs fully
+	// in-memory (no WAL, no snapshots).
+	DataDir string
+	// Store configures each shard's store (fsync, snapshot cadence).
+	Store store.Options
+	// Catalog options applied to every shard's catalog.
+	Catalog []catalog.Option
+	// ShardByPrefix derives a shard key from attribute-name prefixes (the
+	// part before the first underscore) when a request names no schema and
+	// all mentioned attributes agree on one prefix. Off by default: implicit
+	// cross-shard splitting changes which constraints a prove consults, so
+	// it must be an explicit deployment decision.
+	ShardByPrefix bool
+}
+
+// Shard is one schema namespace: its catalog and, when durable, its store.
+type Shard struct {
+	name string
+	cat  *catalog.Catalog
+	st   *store.Store // nil when the router is ephemeral
+
+	// mu serializes mutations so WAL order equals catalog apply order.
+	// Held across append-stage + apply (+ snapshot), not across the
+	// group-commit wait.
+	mu sync.Mutex
+}
+
+// Router is the sharded catalog front door.
+type Router struct {
+	opt Options
+
+	mu     sync.RWMutex
+	shards map[string]*Shard
+
+	// empty answers reads routed at shards that do not exist without
+	// materializing them: an absent shard implies an empty constraint set.
+	empty *catalog.Catalog
+}
+
+// Open builds a router. With a data dir it recovers every existing shard
+// directory — snapshot load plus WAL replay, applied to a fresh catalog via
+// the no-relog path — before returning, so a restarted daemon answers from
+// its pre-crash state immediately.
+func Open(opt Options) (*Router, error) {
+	r := &Router{
+		opt:    opt,
+		shards: make(map[string]*Shard),
+		empty:  catalog.New(opt.Catalog...),
+	}
+	if opt.DataDir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(opt.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(opt.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if name == dirDefault {
+			name = DefaultShard
+		} else if err := ValidSchema(name); err != nil {
+			return nil, fmt.Errorf("router: data dir entry %q is not a shard directory: %w", e.Name(), err)
+		}
+		if _, err := r.openShard(name); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// ValidSchema checks a schema name: lowercase letters, digits and
+// underscores, not digit-initial. Lowercase-only keeps one shard per
+// directory even on case-insensitive filesystems (macOS APFS default),
+// where "Sales" and "sales" would otherwise open the same wal.log from two
+// independent shards; and no name can collide with the default shard's
+// "@default" directory.
+func ValidSchema(name string) error {
+	if name == DefaultShard {
+		return nil
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return fmt.Errorf("router: %w: %q starts with a digit", errSchema, name)
+			}
+		case c >= 'A' && c <= 'Z':
+			return fmt.Errorf("router: %w: %q contains an uppercase letter (schemas are lowercase, to map 1:1 onto directories on case-insensitive filesystems)", errSchema, name)
+		default:
+			return fmt.Errorf("router: %w: invalid character %q in %q", errSchema, c, name)
+		}
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("router: %w: name longer than 128 bytes", errSchema)
+	}
+	return nil
+}
+
+// openShard creates or recovers the named shard. Caller must not hold r.mu.
+// The read-locked fast path keeps steady-state mutations off the router's
+// exclusive lock entirely — it is taken only the first time a schema is
+// seen, when shard creation (directory fsyncs, WAL scan) runs under it.
+func (r *Router) openShard(name string) (*Shard, error) {
+	if sh := r.shard(name); sh != nil {
+		return sh, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sh, ok := r.shards[name]; ok {
+		return sh, nil
+	}
+	sh := &Shard{name: name, cat: catalog.New(r.opt.Catalog...)}
+	if r.opt.DataDir != "" {
+		dir := name
+		if dir == DefaultShard {
+			dir = dirDefault
+		}
+		st, snap, replay, err := store.Open(filepath.Join(r.opt.DataDir, dir), r.opt.Store)
+		if err != nil {
+			return nil, fmt.Errorf("router: opening shard %q: %w", name, err)
+		}
+		muts := make([]catalog.Mutation, 0, len(replay)+1)
+		if len(snap.ODs) > 0 {
+			muts = append(muts, catalog.Mutation{ODs: snap.ODs})
+		}
+		for _, rec := range replay {
+			switch rec.Op {
+			case store.OpRemove:
+				muts = append(muts, catalog.Mutation{Remove: true, ODs: rec.ODs})
+			case store.OpBatch:
+				muts = append(muts,
+					catalog.Mutation{ODs: rec.ODs},
+					catalog.Mutation{Remove: true, ODs: rec.Removes})
+			default:
+				muts = append(muts, catalog.Mutation{ODs: rec.ODs})
+			}
+		}
+		if len(muts) > 0 {
+			sh.cat.Apply(muts)
+		}
+		sh.st = st
+	}
+	r.shards[name] = sh
+	return sh, nil
+}
+
+// shard returns an existing shard, or nil.
+func (r *Router) shard(name string) *Shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[name]
+}
+
+// readCatalog resolves the catalog reads against: the shard's when it
+// exists, a shared empty catalog otherwise (reads must not materialize
+// shard directories).
+func (r *Router) readCatalog(name string) *catalog.Catalog {
+	if sh := r.shard(name); sh != nil {
+		return sh.cat
+	}
+	return r.empty
+}
+
+// ShardNames lists existing shards, sorted, default first.
+func (r *Router) ShardNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.shards))
+	for name := range r.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaFor resolves the shard key of a request: an explicit schema wins
+// (after validation); otherwise, with ShardByPrefix on, the unanimous
+// attribute-name prefix of the statement's attributes; otherwise the
+// default shard.
+func (r *Router) SchemaFor(explicit string, ods []core.OD) (string, error) {
+	if explicit != DefaultShard {
+		if err := ValidSchema(explicit); err != nil {
+			return "", err
+		}
+		return explicit, nil
+	}
+	if !r.opt.ShardByPrefix {
+		return DefaultShard, nil
+	}
+	prefix := ""
+	for _, od := range ods {
+		for _, a := range od.LHS.Concat(od.RHS) {
+			p := attrPrefix(string(a))
+			if p == "" {
+				return DefaultShard, nil
+			}
+			if prefix == "" {
+				prefix = p
+			} else if prefix != p {
+				return DefaultShard, nil
+			}
+		}
+	}
+	// A derived prefix that is not a valid schema name (e.g. uppercase)
+	// falls back to the default shard rather than erroring: derivation is a
+	// convention, not a contract.
+	if ValidSchema(prefix) != nil {
+		return DefaultShard, nil
+	}
+	return prefix, nil
+}
+
+// attrPrefix returns the schema prefix of an attribute name: the part
+// before the first underscore, empty when there is none to derive.
+func attrPrefix(name string) string {
+	i := strings.Index(name, "_")
+	if i <= 0 {
+		return ""
+	}
+	return name[:i]
+}
+
+// MutationResult reports one shard mutation: effective counts and the
+// post-mutation catalog stats, plus the WAL sequence number when durable.
+type MutationResult struct {
+	Schema  string
+	Added   int
+	Removed int
+	Seq     uint64
+	Stats   catalog.Stats
+}
+
+// Declare declares ODs on the schema's shard: WAL append (staged), catalog
+// apply, optional due snapshot — then the durability wait, after the shard
+// mutex is released so concurrent writers share the group commit. The
+// mutation is only acknowledged (returned without error) once durable.
+func (r *Router) Declare(schema string, ods []core.OD) (MutationResult, error) {
+	return r.mutate(schema, store.OpDeclare, ods)
+}
+
+// Remove withdraws ODs from the schema's shard, with the same durability
+// contract as Declare.
+func (r *Router) Remove(schema string, ods []core.OD) (MutationResult, error) {
+	return r.mutate(schema, store.OpRemove, ods)
+}
+
+func (r *Router) mutate(schema string, op store.Op, ods []core.OD) (MutationResult, error) {
+	key, err := r.SchemaFor(schema, ods)
+	if err != nil {
+		return MutationResult{}, err
+	}
+	sh, err := r.openShard(key)
+	if err != nil {
+		return MutationResult{}, err
+	}
+	res, pending, rollback, err := sh.apply(op, ods)
+	if err != nil {
+		return MutationResult{}, err
+	}
+	if err := pending.Wait(); err != nil {
+		sh.rollback(rollback)
+		return MutationResult{}, fmt.Errorf("router: shard %q mutation not durable: %w", key, err)
+	}
+	return res, nil
+}
+
+// rollback undoes a batch whose WAL commit failed, so the in-memory catalog
+// does not keep serving constraints the client was told were rejected. The
+// WAL error is sticky — every mutation staged after the failure errors out
+// before touching the catalog — so by the time the doomed batch's waiters
+// run their inverses, the declared set differs from the durable state only
+// by that batch. Waiters of one batch roll back concurrently; their net
+// inverses are disjoint except when two of them declared and removed the
+// same OD inside the doomed batch, a corner where one constraint can stay
+// memory-resident on a shard that is already mutation-dead and flagged via
+// the store's WALError on /healthz.
+func (sh *Shard) rollback(muts []catalog.Mutation) {
+	if len(muts) == 0 {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.cat.Apply(muts)
+}
+
+// apply runs the under-lock half of a mutation and returns the durability
+// handle to wait on lock-free, plus the inverse mutations to apply should
+// the commit fail. A nil *store.Pending Waits instantly, which covers the
+// ephemeral case.
+func (sh *Shard) apply(op store.Op, ods []core.OD) (MutationResult, *store.Pending, []catalog.Mutation, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var pending *store.Pending
+	var seq uint64
+	snapshotDue := false
+	if sh.st != nil {
+		var err error
+		pending, seq, snapshotDue, err = sh.st.Append(op, ods)
+		if err != nil {
+			return MutationResult{}, nil, nil, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
+		}
+	}
+	added, removed, netAdded, netRemoved, st := sh.cat.ApplyEffective(
+		[]catalog.Mutation{{Remove: op == store.OpRemove, ODs: ods}})
+	if snapshotDue {
+		// Inline snapshot under the shard mutex: writers on this shard
+		// stall for one snapshot write, readers never notice. The declared
+		// list is exactly the state at seq because mutations serialize here.
+		// A snapshot failure does NOT fail the mutation — the WAL keeps the
+		// records, recovery replays them, and the store remembers the error
+		// in its stats. The mutation's own fate rests solely on the WAL
+		// commit the caller is about to Wait on.
+		_ = sh.st.Snapshot(seq, sh.cat.Declared())
+	}
+	return MutationResult{
+		Schema: sh.name, Added: added, Removed: removed, Seq: seq, Stats: st,
+	}, pending, inverseOf(netAdded, netRemoved), nil
+}
+
+// inverseOf builds the mutations that undo a net effect.
+func inverseOf(netAdded, netRemoved []core.OD) []catalog.Mutation {
+	var inv []catalog.Mutation
+	if len(netAdded) > 0 {
+		inv = append(inv, catalog.Mutation{Remove: true, ODs: netAdded})
+	}
+	if len(netRemoved) > 0 {
+		inv = append(inv, catalog.Mutation{ODs: netRemoved})
+	}
+	return inv
+}
+
+// BatchOp is one schema-addressed step of a batch mutation.
+type BatchOp struct {
+	Schema string
+	Remove bool
+	ODs    []core.OD
+}
+
+// ApplyBatch groups the steps by resolved shard and applies each shard's
+// steps as ONE WAL record per op kind and one catalog.Apply — a single lock
+// acquisition and a single group commit per shard regardless of how many
+// statements the batch carries. Results are per shard, keyed by shard name.
+func (r *Router) ApplyBatch(ops []BatchOp) (map[string]MutationResult, error) {
+	type bucket struct {
+		declares []core.OD
+		removes  []core.OD
+	}
+	order := []string{}
+	buckets := map[string]*bucket{}
+	for i := range ops {
+		schema, err := r.SchemaFor(ops[i].Schema, ops[i].ODs)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := buckets[schema]
+		if !ok {
+			b = &bucket{}
+			buckets[schema] = b
+			order = append(order, schema)
+		}
+		if ops[i].Remove {
+			b.removes = append(b.removes, ops[i].ODs...)
+		} else {
+			b.declares = append(b.declares, ops[i].ODs...)
+		}
+	}
+
+	out := make(map[string]MutationResult, len(buckets))
+	type waiter struct {
+		schema   string
+		sh       *Shard
+		pending  *store.Pending
+		rollback []catalog.Mutation
+	}
+	var waiters []waiter
+	var firstErr error
+	for _, schema := range order {
+		b := buckets[schema]
+		sh, err := r.openShard(schema)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		res, pending, rollback, err := sh.applyBatch(b.declares, b.removes)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		out[schema] = res
+		waiters = append(waiters, waiter{schema, sh, pending, rollback})
+	}
+	// Wait for every shard's group commit after all shards have applied, so
+	// cross-shard batches overlap their fsyncs instead of serializing them.
+	// This drain runs even when a later shard failed mid-loop — every shard
+	// that applied must either become durable or be rolled back before the
+	// request returns. A shard whose commit failed is rolled back; shards
+	// that committed stay — cross-shard batches are not atomic, each shard
+	// is.
+	for _, w := range waiters {
+		if err := w.pending.Wait(); err != nil {
+			w.sh.rollback(w.rollback)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("router: shard %q batch not durable: %w", w.schema, err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// applyBatch is apply for a declare-set plus remove-set pair. Declares land
+// before removes, matching the documented batch semantics; both travel in
+// one WAL record so the pair is atomic on disk.
+func (sh *Shard) applyBatch(declares, removes []core.OD) (MutationResult, *store.Pending, []catalog.Mutation, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var pending *store.Pending
+	var seq uint64
+	snapshotDue := false
+	if sh.st != nil {
+		var err error
+		pending, seq, snapshotDue, err = sh.st.AppendBatch(declares, removes)
+		if err != nil {
+			return MutationResult{}, nil, nil, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
+		}
+	}
+	var muts []catalog.Mutation
+	if len(declares) > 0 {
+		muts = append(muts, catalog.Mutation{ODs: declares})
+	}
+	if len(removes) > 0 {
+		muts = append(muts, catalog.Mutation{Remove: true, ODs: removes})
+	}
+	added, removed, netAdded, netRemoved, st := sh.cat.ApplyEffective(muts)
+	if snapshotDue {
+		// Non-fatal, as in apply: the WAL retains everything the snapshot
+		// failed to compact.
+		_ = sh.st.Snapshot(seq, sh.cat.Declared())
+	}
+	return MutationResult{
+		Schema: sh.name, Added: added, Removed: removed, Seq: seq, Stats: st,
+	}, pending, inverseOf(netAdded, netRemoved), nil
+}
+
+// ProveOne decides one statement (a conjunction of ODs) against its shard.
+func (r *Router) ProveOne(schema string, ods []core.OD) (catalog.ProveResult, uint64, string, error) {
+	key, err := r.SchemaFor(schema, ods)
+	if err != nil {
+		return catalog.ProveResult{}, 0, "", err
+	}
+	res, gen := r.readCatalog(key).ProveEach([][]core.OD{ods})
+	return res[0], gen, key, nil
+}
+
+// BatchVerdict is one statement's outcome within a batch prove.
+type BatchVerdict struct {
+	Schema     string
+	Generation uint64
+	Result     catalog.ProveResult
+}
+
+// ProveBatch decides many statements, grouping them by shard so each shard
+// is snapshotted once: statements on the same shard are answered against one
+// constraint generation, and shards are consulted independently. Order of
+// verdicts matches order of statements.
+func (r *Router) ProveBatch(schema string, stmts [][]core.OD) ([]BatchVerdict, error) {
+	type group struct {
+		idx []int
+		qs  [][]core.OD
+	}
+	order := []string{}
+	groups := map[string]*group{}
+	for i, ods := range stmts {
+		key, err := r.SchemaFor(schema, ods)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.idx = append(g.idx, i)
+		g.qs = append(g.qs, ods)
+	}
+	out := make([]BatchVerdict, len(stmts))
+	for _, key := range order {
+		g := groups[key]
+		res, gen := r.readCatalog(key).ProveEach(g.qs)
+		for j, i := range g.idx {
+			out[i] = BatchVerdict{Schema: key, Generation: gen, Result: res[j]}
+		}
+	}
+	return out, nil
+}
+
+// Listing returns one shard's consistent listing.
+func (r *Router) Listing(schema string) (catalog.Listing, error) {
+	if err := ValidSchema(schema); err != nil {
+		return catalog.Listing{}, err
+	}
+	return r.readCatalog(schema).Listing(), nil
+}
+
+// ListingAll fans out across every shard and returns the per-shard listings
+// keyed by shard name — each internally consistent; cross-shard consistency
+// is not a meaningful notion since shards share no attributes by contract.
+func (r *Router) ListingAll() map[string]catalog.Listing {
+	out := make(map[string]catalog.Listing)
+	for _, name := range r.ShardNames() {
+		if sh := r.shard(name); sh != nil {
+			out[name] = sh.cat.Listing()
+		}
+	}
+	return out
+}
+
+// Catalog exposes a shard's catalog for read-side helpers (rewrite); absent
+// shards read as empty.
+func (r *Router) Catalog(schema string) (*catalog.Catalog, error) {
+	if err := ValidSchema(schema); err != nil {
+		return nil, err
+	}
+	return r.readCatalog(schema), nil
+}
+
+// SchemaForList resolves the shard for an attribute list (rewrite requests).
+func (r *Router) SchemaForList(explicit string, l core.List) (string, error) {
+	return r.SchemaFor(explicit, []core.OD{{LHS: l}})
+}
+
+// ShardStats is one shard's health summary.
+type ShardStats struct {
+	Catalog catalog.Stats `json:"catalog"`
+	Store   *store.Stats  `json:"store,omitempty"`
+}
+
+// Stats fans out across shards.
+func (r *Router) Stats() map[string]ShardStats {
+	out := make(map[string]ShardStats)
+	for _, name := range r.ShardNames() {
+		sh := r.shard(name)
+		if sh == nil {
+			continue
+		}
+		ss := ShardStats{Catalog: sh.cat.Stats()}
+		if sh.st != nil {
+			st := sh.st.Stats()
+			ss.Store = &st
+		}
+		out[name] = ss
+	}
+	return out
+}
+
+// SnapshotResult reports one shard's admin-triggered snapshot.
+type SnapshotResult struct {
+	Seq      int `json:"seq"`
+	Declared int `json:"declared"`
+}
+
+// SnapshotAll forces a snapshot on every durable shard, returning per-shard
+// results. Ephemeral shards are skipped.
+func (r *Router) SnapshotAll() (map[string]SnapshotResult, error) {
+	return r.snapshotNames(r.ShardNames())
+}
+
+// SnapshotOne forces a snapshot on the named shard alone — the default
+// shard when schema is empty, which SnapshotAll cannot address
+// individually.
+func (r *Router) SnapshotOne(schema string) (map[string]SnapshotResult, error) {
+	if err := ValidSchema(schema); err != nil {
+		return nil, err
+	}
+	return r.snapshotNames([]string{schema})
+}
+
+func (r *Router) snapshotNames(names []string) (map[string]SnapshotResult, error) {
+	out := make(map[string]SnapshotResult)
+	for _, name := range names {
+		sh := r.shard(name)
+		if sh == nil || sh.st == nil {
+			continue
+		}
+		// seq and declared are captured under the shard mutex so the
+		// reported pair describes exactly the state the snapshot holds.
+		sh.mu.Lock()
+		declared := sh.cat.Declared()
+		seq := sh.st.Seq()
+		err := sh.st.Snapshot(seq, declared)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("router: snapshot of shard %q: %w", name, err)
+		}
+		out[name] = SnapshotResult{Seq: int(seq), Declared: len(declared)}
+	}
+	return out, nil
+}
+
+// Close closes every shard's store.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, sh := range r.shards {
+		if sh.st != nil {
+			if err := sh.st.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

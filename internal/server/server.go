@@ -1,45 +1,59 @@
-// Package server exposes the OD constraint catalog over HTTP/JSON: the
-// network front end of the theorem-prover-as-a-service that the paper's
-// future-work section sketches for optimizer integration.
+// Package server exposes the sharded, durable OD constraint catalog over
+// HTTP/JSON: the network front end of the theorem-prover-as-a-service that
+// the paper's future-work section sketches for optimizer integration.
 //
 // Endpoints:
 //
-//	POST   /ods      declare OD statements ("->", "<->", "~" all accepted)
-//	GET    /ods      list declared ODs and the deflated transitive closure
-//	DELETE /ods      withdraw declared ODs
-//	POST   /prove    decide catalog ⊨ statement, with a counterexample on refutation
-//	POST   /rewrite  ReduceOrder⁺ / ReduceGroupBy a list under the catalog
-//	GET    /healthz  liveness plus catalog and memo statistics
+//	POST   /ods          declare OD statements ("->", "<->", "~" all accepted)
+//	GET    /ods          list declared ODs and closures, per shard (?schema= for one)
+//	DELETE /ods          withdraw declared ODs
+//	POST   /ods/batch    declare and withdraw many statements in one shard mutation
+//	POST   /prove        decide catalog ⊨ statement, with a counterexample on refutation
+//	POST   /prove/batch  decide many statements against one snapshot per shard
+//	POST   /rewrite      ReduceOrder⁺ / ReduceGroupBy a list under the catalog
+//	POST   /snapshot     force a durable snapshot (admin; ?schema= or body for one shard)
+//	GET    /healthz      liveness plus per-shard catalog, store and recovery statistics
 //
-// All handlers are safe for concurrent use; they delegate synchronization
-// to the catalog. Request and response bodies are JSON; parse errors and
-// malformed statements answer 400 with {"error": ...}.
+// Every mutating or proving request may carry a "schema" field selecting the
+// shard; without one the request lands on the default shard (or, when the
+// router runs with prefix derivation, the shard named by the unanimous
+// attribute prefix). Mutations are acknowledged only after they are durable
+// in the shard's write-ahead log.
+//
+// All handlers are safe for concurrent use; they delegate synchronization to
+// the router and its shards. Request and response bodies are JSON; parse
+// errors and malformed statements answer 400 with {"error": ...}.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 
 	"odlib/internal/catalog"
 	"odlib/internal/core"
 	"odlib/internal/rewrite"
+	"odlib/internal/router"
 )
 
-// Server is the HTTP front end over a shared constraint catalog.
+// Server is the HTTP front end over a sharded constraint catalog.
 type Server struct {
-	cat *catalog.Catalog
+	rt  *router.Router
 	mux *http.ServeMux
 }
 
-// New builds a server over the given catalog.
-func New(cat *catalog.Catalog) *Server {
-	s := &Server{cat: cat, mux: http.NewServeMux()}
+// New builds a server over the given router.
+func New(rt *router.Router) *Server {
+	s := &Server{rt: rt, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /ods", s.handleDeclare)
 	s.mux.HandleFunc("GET /ods", s.handleList)
 	s.mux.HandleFunc("DELETE /ods", s.handleRemove)
+	s.mux.HandleFunc("POST /ods/batch", s.handleBatchMutate)
 	s.mux.HandleFunc("POST /prove", s.handleProve)
+	s.mux.HandleFunc("POST /prove/batch", s.handleBatchProve)
 	s.mux.HandleFunc("POST /rewrite", s.handleRewrite)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -49,15 +63,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// maxBodyBytes bounds request bodies; constraint statements are tiny.
-const maxBodyBytes = 1 << 20
+// maxBodyBytes bounds request bodies; even bulk constraint batches are small.
+const maxBodyBytes = 8 << 20
 
+// writeJSON emits compact JSON: batch responses run to hundreds of results,
+// and indentation costs real encoder time and wire bytes at that size —
+// pipe through jq to read interactively.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -77,7 +92,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 // odsRequest declares or withdraws constraints. Statements accepts the full
 // statement syntax and is expanded ("<->" and "~" become OD pairs); Text is
 // a newline/semicolon-separated alternative for piping constraint files.
+// Schema selects the shard.
 type odsRequest struct {
+	Schema     string   `json:"schema,omitempty"`
 	Statements []string `json:"statements,omitempty"`
 	Text       string   `json:"text,omitempty"`
 }
@@ -105,37 +122,39 @@ func (q *odsRequest) parse() ([]core.OD, error) {
 	return ods, nil
 }
 
-type declareResponse struct {
-	Added      int    `json:"added"`
+// mutationJSON is the per-shard outcome of a mutation.
+type mutationJSON struct {
+	Schema     string `json:"schema"`
+	Added      int    `json:"added,omitempty"`
+	Removed    int    `json:"removed,omitempty"`
 	Declared   int    `json:"declared"`
 	Closure    int    `json:"closure"`
 	Generation uint64 `json:"generation"`
+	Seq        uint64 `json:"seq,omitempty"`
 }
 
-type removeResponse struct {
-	Removed    int    `json:"removed"`
-	Declared   int    `json:"declared"`
-	Closure    int    `json:"closure"`
-	Generation uint64 `json:"generation"`
+func mutationOf(m router.MutationResult) mutationJSON {
+	return mutationJSON{
+		Schema:     m.Schema,
+		Added:      m.Added,
+		Removed:    m.Removed,
+		Declared:   m.Stats.Declared,
+		Closure:    m.Stats.Closure,
+		Generation: m.Stats.Generation,
+		Seq:        m.Seq,
+	}
 }
 
 func (s *Server) handleDeclare(w http.ResponseWriter, r *http.Request) {
-	var req odsRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	ods, err := req.parse()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	added, st := s.cat.AddStamped(ods...)
-	writeJSON(w, http.StatusOK, declareResponse{
-		Added: added, Declared: st.Declared, Closure: st.Closure, Generation: st.Generation,
-	})
+	s.handleMutation(w, r, s.rt.Declare)
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	s.handleMutation(w, r, s.rt.Remove)
+}
+
+func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
+	apply func(string, []core.OD) (router.MutationResult, error)) {
 	var req odsRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -145,41 +164,137 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	removed, st := s.cat.RemoveStamped(ods...)
-	writeJSON(w, http.StatusOK, removeResponse{
-		Removed: removed, Declared: st.Declared, Closure: st.Closure, Generation: st.Generation,
-	})
+	res, err := apply(req.Schema, ods)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mutationOf(res))
+}
+
+// statusOf maps router errors: invalid schemas are client errors, failed
+// durability is a server error.
+func statusOf(err error) int {
+	if router.IsSchemaError(err) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// batchRequest is one request's worth of declares and removes, applied with
+// one WAL record per op kind and one closure rebuild per shard.
+type batchRequest struct {
+	Schema  string   `json:"schema,omitempty"`
+	Declare []string `json:"declare,omitempty"`
+	Remove  []string `json:"remove,omitempty"`
+}
+
+type batchMutateResponse struct {
+	Shards map[string]mutationJSON `json:"shards"`
+}
+
+func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var ops []router.BatchOp
+	for _, group := range []struct {
+		stmts  []string
+		remove bool
+	}{{req.Declare, false}, {req.Remove, true}} {
+		for _, stmt := range group.stmts {
+			ods, err := core.ParseStatement(stmt)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			ops = append(ops, router.BatchOp{Schema: req.Schema, Remove: group.remove, ODs: ods})
+		}
+	}
+	if len(ops) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no statements given"))
+		return
+	}
+	res, err := s.rt.ApplyBatch(ops)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	out := batchMutateResponse{Shards: make(map[string]mutationJSON, len(res))}
+	for name, m := range res {
+		out.Shards[name] = mutationOf(m)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type listResponse struct {
+	Schema     string   `json:"schema"`
 	Generation uint64   `json:"generation"`
 	Declared   []string `json:"declared"`
 	Closure    []string `json:"closure"`
 }
 
 func odStrings(ods []core.OD) []string {
-	out := make([]string, len(ods))
-	for i, od := range ods {
-		out[i] = od.String()
+	out := make([]string, 0, len(ods))
+	for _, od := range ods {
+		out = append(out, od.String())
 	}
 	return out
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	l := s.cat.Listing()
-	writeJSON(w, http.StatusOK, listResponse{
+func listingOf(schema string, l catalog.Listing) listResponse {
+	return listResponse{
+		Schema:     schema,
 		Generation: l.Generation,
 		Declared:   odStrings(l.Declared),
 		Closure:    odStrings(l.Closure),
-	})
+	}
+}
+
+// handleList serves one shard's listing with ?schema=..., or fans out over
+// every shard.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if schema, ok := queryShard(r); ok {
+		l, err := s.rt.Listing(schema)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, listingOf(schema, l))
+		return
+	}
+	all := s.rt.ListingAll()
+	out := struct {
+		Shards map[string]listResponse `json:"shards"`
+	}{Shards: make(map[string]listResponse, len(all))}
+	for name, l := range all {
+		out.Shards[name] = listingOf(name, l)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryShard reads the ?schema= selector; ok reports whether it was present.
+func queryShard(r *http.Request) (string, bool) {
+	vals, ok := r.URL.Query()["schema"]
+	if !ok || len(vals) == 0 {
+		return "", false
+	}
+	return vals[0], true
 }
 
 type proveRequest struct {
+	Schema    string `json:"schema,omitempty"`
 	Statement string `json:"statement"`
 }
 
 // witnessJSON is a two-row counterexample: the sign pattern per attribute
-// and a concrete integer realization, the same rendering odprove prints.
+// and a concrete integer realization. Only discriminating attributes — those
+// where the two rows differ — are serialized; every omitted attribute ties.
+// The prover expands witnesses onto the full universe of the shard's
+// constraint set, so without the projection a single refutation against a
+// wide catalog would ship kilobytes of constant columns per statement —
+// ruinous for /prove/batch responses.
 type witnessJSON struct {
 	Pattern string            `json:"pattern"`
 	Signs   map[string]string `json:"signs"`
@@ -189,26 +304,48 @@ type witnessJSON struct {
 
 type proveResponse struct {
 	Statement  string       `json:"statement"`
+	Schema     string       `json:"schema"`
 	Implied    bool         `json:"implied"`
 	Generation uint64       `json:"generation"`
 	Witness    *witnessJSON `json:"witness,omitempty"`
+	Error      string       `json:"error,omitempty"`
 }
 
 func witnessOf(p *core.Pattern) *witnessJSON {
 	if p == nil {
 		return nil
 	}
+	// Project onto discriminating attributes — indexing the signs slice
+	// directly, since Pattern.Sign is a linear universe scan and witnesses
+	// expand onto the whole constraint universe. A refuting pattern always
+	// has at least one non-Equal sign, so the projection is never empty.
+	var kept core.List
+	var keptSigns []core.Sign
+	signs := p.Signs()
+	for i, a := range p.Universe() {
+		if signs[i] != core.Equal {
+			kept = append(kept, a)
+			keptSigns = append(keptSigns, signs[i])
+		}
+	}
+	q := core.MustPattern(kept)
+	for i, a := range kept {
+		if err := q.SetSign(a, keptSigns[i]); err != nil {
+			// kept ⊆ q's universe by construction.
+			panic(err)
+		}
+	}
 	w := &witnessJSON{
-		Pattern: p.String(),
-		Signs:   make(map[string]string, len(p.Universe())),
+		Pattern: q.String(),
+		Signs:   make(map[string]string, len(kept)),
 	}
-	rel := p.Relation()
-	for _, a := range p.Universe() {
+	for i, a := range kept {
 		w.Attrs = append(w.Attrs, string(a))
-		w.Signs[string(a)] = p.Sign(a).String()
+		w.Signs[string(a)] = keptSigns[i].String()
 	}
+	rel := q.Relation()
 	for i := 0; i < rel.Len(); i++ {
-		row := make([]int64, 0, len(w.Attrs))
+		row := make([]int64, 0, len(kept))
 		for _, v := range rel.Row(i) {
 			row = append(row, v.Int)
 		}
@@ -228,22 +365,81 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// One atomic conjunction: every expanded OD (a "<->" statement is two)
-	// is decided against the same constraint set, and the reported
-	// generation is the one the verdict was computed under.
-	ok, witness, gen, err := s.cat.ImpliesAllWitness(ods)
+	// is decided against the same constraint snapshot of its shard, and the
+	// reported generation is the one the verdict was computed under.
+	res, gen, shard, err := s.rt.ProveOne(req.Schema, ods)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if res.Err != nil {
+		writeError(w, http.StatusUnprocessableEntity, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, proveResponse{
 		Statement:  req.Statement,
-		Implied:    ok,
+		Schema:     shard,
+		Implied:    res.Implied,
 		Generation: gen,
-		Witness:    witnessOf(witness),
+		Witness:    witnessOf(res.Witness),
 	})
 }
 
+type batchProveRequest struct {
+	Schema     string   `json:"schema,omitempty"`
+	Statements []string `json:"statements"`
+}
+
+type batchProveResponse struct {
+	Results []proveResponse `json:"results"`
+}
+
+// handleBatchProve decides many statements in one request: one shard
+// snapshot per shard touched, so the whole batch amortizes transport, lock
+// and generation bookkeeping. A statement that fails individually (attribute
+// limit) reports its error in place without failing the batch.
+func (s *Server) handleBatchProve(w http.ResponseWriter, r *http.Request) {
+	var req batchProveRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Statements) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no statements given"))
+		return
+	}
+	stmts := make([][]core.OD, len(req.Statements))
+	for i, stmt := range req.Statements {
+		ods, err := core.ParseStatement(stmt)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("statement %d: %w", i, err))
+			return
+		}
+		stmts[i] = ods
+	}
+	verdicts, err := s.rt.ProveBatch(req.Schema, stmts)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	resp := batchProveResponse{Results: make([]proveResponse, len(verdicts))}
+	for i, v := range verdicts {
+		pr := proveResponse{
+			Statement:  req.Statements[i],
+			Schema:     v.Schema,
+			Generation: v.Generation,
+			Implied:    v.Result.Implied,
+			Witness:    witnessOf(v.Result.Witness),
+		}
+		if v.Result.Err != nil {
+			pr.Error = v.Result.Err.Error()
+		}
+		resp.Results[i] = pr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 type rewriteRequest struct {
+	Schema  string `json:"schema,omitempty"`
 	Order   string `json:"order,omitempty"`
 	GroupBy string `json:"groupBy,omitempty"`
 }
@@ -258,6 +454,7 @@ type rewriteStep struct {
 type rewriteResponse struct {
 	Input      string        `json:"input"`
 	Reduced    string        `json:"reduced"`
+	Schema     string        `json:"schema"`
 	Steps      []rewriteStep `json:"steps"`
 	Generation uint64        `json:"generation"`
 }
@@ -281,17 +478,28 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	shard, err := s.rt.SchemaForList(req.Schema, list)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cat, err := s.rt.Catalog(shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var out rewrite.Result
 	var gen uint64
 	if group {
-		out, gen = s.cat.ReduceGroupByStamped(list)
-	} else if out, gen, err = s.cat.ReduceOrderStamped(list); err != nil {
+		out, gen = cat.ReduceGroupByStamped(list)
+	} else if out, gen, err = cat.ReduceOrderStamped(list); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	resp := rewriteResponse{
 		Input:      out.Input.String(),
 		Reduced:    out.Reduced.String(),
+		Schema:     shard,
 		Steps:      []rewriteStep{},
 		Generation: gen,
 	}
@@ -303,11 +511,78 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type healthzResponse struct {
-	OK      bool          `json:"ok"`
-	Catalog catalog.Stats `json:"catalog"`
+// snapshotRequest selects a shard. The pointer distinguishes "no selector"
+// (snapshot every shard) from an explicit "schema": "" (snapshot just the
+// default shard) — the same selection semantics GET /ods?schema= has.
+type snapshotRequest struct {
+	Schema *string `json:"schema,omitempty"`
 }
 
+type snapshotResponse struct {
+	Shards map[string]router.SnapshotResult `json:"shards"`
+}
+
+// handleSnapshot force-snapshots durable shards: all of them, or the one
+// named by body/query (?schema= with an empty value addresses the default
+// shard). On an ephemeral daemon it answers with zero shards.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// Unlike the other handlers, an absent body is meaningful here ("all
+	// shards"), so io.EOF reads as no selector — covering empty sized and
+	// empty chunked bodies alike.
+	var req snapshotRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if schema, ok := queryShard(r); ok {
+		req.Schema = &schema
+	}
+	var res map[string]router.SnapshotResult
+	var err error
+	if req.Schema != nil {
+		res, err = s.rt.SnapshotOne(*req.Schema)
+	} else {
+		res, err = s.rt.SnapshotAll()
+	}
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Shards: res})
+}
+
+type healthzResponse struct {
+	OK     bool                         `json:"ok"`
+	Shards map[string]router.ShardStats `json:"shards"`
+	Totals struct {
+		Shards   int `json:"shards"`
+		Declared int `json:"declared"`
+		Closure  int `json:"closure"`
+	} `json:"totals"`
+}
+
+// handleHealthz reports per-shard state. OK turns false when any shard's
+// WAL has a sticky failure (that shard rejects mutations) or its last
+// snapshot failed (the WAL compacts no more and recovery time grows
+// unboundedly) — an orchestrator must see both without scraping per-shard
+// fields.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthzResponse{OK: true, Catalog: s.cat.Stats()})
+	resp := healthzResponse{OK: true, Shards: s.rt.Stats()}
+	resp.Totals.Shards = len(resp.Shards)
+	for _, st := range resp.Shards {
+		resp.Totals.Declared += st.Catalog.Declared
+		resp.Totals.Closure += st.Catalog.Closure
+		if st.Store != nil && (st.Store.WALError != "" || st.Store.SnapshotError != "") {
+			resp.OK = false
+		}
+	}
+	// Status-code-keyed probes (k8s httpGet) must see unhealth without
+	// parsing the body.
+	status := http.StatusOK
+	if !resp.OK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }

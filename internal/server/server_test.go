@@ -9,8 +9,25 @@ import (
 	"sync"
 	"testing"
 
-	"odlib/internal/catalog"
+	"odlib/internal/router"
+	"odlib/internal/store"
 )
+
+// newTestServer boots an httptest server over a fresh router; dataDir == ""
+// runs in-memory.
+func newTestServer(t *testing.T, opt router.Options) *httptest.Server {
+	t.Helper()
+	rt, err := router.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(rt))
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return ts
+}
 
 // call issues a JSON request against the test server and decodes the reply.
 func call(t *testing.T, ts *httptest.Server, method, path string, body, out any) int {
@@ -38,19 +55,29 @@ func call(t *testing.T, ts *httptest.Server, method, path string, body, out any)
 	return resp.StatusCode
 }
 
+// healthz mirrors the /healthz response shape.
+type healthz struct {
+	OK     bool                         `json:"ok"`
+	Shards map[string]router.ShardStats `json:"shards"`
+	Totals struct {
+		Shards   int `json:"shards"`
+		Declared int `json:"declared"`
+		Closure  int `json:"closure"`
+	} `json:"totals"`
+}
+
 // TestEndToEnd drives declare → list → prove → rewrite → remove → prove
 // through real HTTP, the acceptance flow for odserve.
 func TestEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(New(catalog.New()))
-	defer ts.Close()
+	ts := newTestServer(t, router.Options{})
 
 	// Health starts clean.
-	var health struct {
-		OK      bool          `json:"ok"`
-		Catalog catalog.Stats `json:"catalog"`
-	}
+	var health healthz
 	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 || !health.OK {
 		t.Fatalf("healthz = %d %+v", code, health)
+	}
+	if health.Totals.Shards != 0 {
+		t.Fatalf("fresh daemon has %d shards", health.Totals.Shards)
 	}
 
 	// Declare: one plain OD and one equivalence (expands to two ODs).
@@ -71,13 +98,13 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("closure = %d, want 4 (the 3 declared plus the transitive [A] -> [C])", changed.Closure)
 	}
 
-	// List shows declared and derived constraints.
+	// List (single shard via ?schema=) shows declared and derived constraints.
 	var list struct {
 		Generation uint64   `json:"generation"`
 		Declared   []string `json:"declared"`
 		Closure    []string `json:"closure"`
 	}
-	if code := call(t, ts, "GET", "/ods", nil, &list); code != 200 {
+	if code := call(t, ts, "GET", "/ods?schema=", nil, &list); code != 200 {
 		t.Fatalf("list = %d", code)
 	}
 	if len(list.Declared) != 3 {
@@ -91,6 +118,19 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("closure %v is missing the derived [A] -> [C]", list.Closure)
+	}
+
+	// The fan-out form nests per shard.
+	var all struct {
+		Shards map[string]struct {
+			Declared []string `json:"declared"`
+		} `json:"shards"`
+	}
+	if code := call(t, ts, "GET", "/ods", nil, &all); code != 200 || len(all.Shards) != 1 {
+		t.Fatalf("fan-out list = %d %+v", code, all)
+	}
+	if len(all.Shards[""].Declared) != 3 {
+		t.Fatalf("fan-out default shard = %+v", all.Shards[""])
 	}
 
 	// Prove an implied statement.
@@ -160,14 +200,165 @@ func TestEndToEnd(t *testing.T) {
 	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 {
 		t.Fatalf("healthz = %d", code)
 	}
-	if health.Catalog.Declared != 2 || health.Catalog.Generation < 2 {
-		t.Fatalf("healthz catalog = %+v", health.Catalog)
+	if health.Totals.Declared != 2 || health.Shards[""].Catalog.Generation < 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestSchemaShardsOverHTTP checks shard addressing end to end: constraints
+// declared under one schema are invisible to others, and /healthz reports
+// per-shard state.
+func TestSchemaShardsOverHTTP(t *testing.T) {
+	ts := newTestServer(t, router.Options{})
+
+	call(t, ts, "POST", "/ods", map[string]any{
+		"schema": "sales", "statements": []string{"[month] -> [quarter]"},
+	}, nil)
+	call(t, ts, "POST", "/ods", map[string]any{
+		"schema": "inv", "statements": []string{"[bin] -> [aisle]"},
+	}, nil)
+
+	var prove struct {
+		Schema  string `json:"schema"`
+		Implied bool   `json:"implied"`
+	}
+	code := call(t, ts, "POST", "/prove", map[string]string{
+		"schema": "sales", "statement": "[month] -> [quarter]",
+	}, &prove)
+	if code != 200 || !prove.Implied || prove.Schema != "sales" {
+		t.Fatalf("prove on sales = %d %+v", code, prove)
+	}
+	code = call(t, ts, "POST", "/prove", map[string]string{
+		"schema": "inv", "statement": "[month] -> [quarter]",
+	}, &prove)
+	if code != 200 || prove.Implied {
+		t.Fatalf("inv shard sees sales constraints: %+v", prove)
+	}
+
+	var health healthz
+	call(t, ts, "GET", "/healthz", nil, &health)
+	if health.Totals.Shards != 2 || health.Totals.Declared != 2 {
+		t.Fatalf("healthz totals = %+v", health.Totals)
+	}
+
+	// Invalid schema names are client errors.
+	var e struct {
+		Error string `json:"error"`
+	}
+	if code := call(t, ts, "POST", "/ods", map[string]any{
+		"schema": "../evil", "statements": []string{"[A] -> [B]"},
+	}, &e); code != 400 || e.Error == "" {
+		t.Fatalf("bad schema = %d %+v", code, e)
+	}
+}
+
+// TestBatchEndpoints drives /ods/batch and /prove/batch: one request, many
+// statements, consistent generations per shard.
+func TestBatchEndpoints(t *testing.T) {
+	ts := newTestServer(t, router.Options{})
+
+	var declared struct {
+		Shards map[string]struct {
+			Added      int    `json:"added"`
+			Generation uint64 `json:"generation"`
+		} `json:"shards"`
+	}
+	code := call(t, ts, "POST", "/ods/batch", map[string]any{
+		"declare": []string{"[A] -> [B]", "[B] -> [C]", "[C] -> [D]"},
+	}, &declared)
+	if code != 200 || declared.Shards[""].Added != 3 {
+		t.Fatalf("batch declare = %d %+v", code, declared)
+	}
+	if declared.Shards[""].Generation != 1 {
+		t.Fatalf("batch of 3 advanced generation to %d, want 1 (single rebuild)",
+			declared.Shards[""].Generation)
+	}
+
+	var proved struct {
+		Results []struct {
+			Statement  string `json:"statement"`
+			Implied    bool   `json:"implied"`
+			Generation uint64 `json:"generation"`
+			Error      string `json:"error"`
+		} `json:"results"`
+	}
+	code = call(t, ts, "POST", "/prove/batch", map[string]any{
+		"statements": []string{"[A] -> [D]", "[D] -> [A]", "[A, B] -> [B, C]"},
+	}, &proved)
+	if code != 200 || len(proved.Results) != 3 {
+		t.Fatalf("batch prove = %d %+v", code, proved)
+	}
+	if !proved.Results[0].Implied || proved.Results[1].Implied || !proved.Results[2].Implied {
+		t.Fatalf("batch verdicts = %+v", proved.Results)
+	}
+	for _, res := range proved.Results {
+		if res.Generation != proved.Results[0].Generation {
+			t.Fatalf("one batch, multiple generations: %+v", proved.Results)
+		}
+	}
+
+	// Mixed declare+remove in one batch.
+	var mixed struct {
+		Shards map[string]struct {
+			Added   int `json:"added"`
+			Removed int `json:"removed"`
+		} `json:"shards"`
+	}
+	code = call(t, ts, "POST", "/ods/batch", map[string]any{
+		"declare": []string{"[X] -> [Y]"},
+		"remove":  []string{"[A] -> [B]"},
+	}, &mixed)
+	if code != 200 || mixed.Shards[""].Added != 1 || mixed.Shards[""].Removed != 1 {
+		t.Fatalf("mixed batch = %d %+v", code, mixed)
+	}
+
+	// Empty batches are client errors.
+	if code := call(t, ts, "POST", "/ods/batch", map[string]any{}, nil); code != 400 {
+		t.Fatalf("empty mutate batch = %d, want 400", code)
+	}
+	if code := call(t, ts, "POST", "/prove/batch", map[string]any{}, nil); code != 400 {
+		t.Fatalf("empty prove batch = %d, want 400", code)
+	}
+}
+
+// TestSnapshotEndpoint exercises the admin trigger against a durable router
+// and its no-op behavior on an ephemeral one.
+func TestSnapshotEndpoint(t *testing.T) {
+	ephemeral := newTestServer(t, router.Options{})
+	var snap struct {
+		Shards map[string]router.SnapshotResult `json:"shards"`
+	}
+	if code := call(t, ephemeral, "POST", "/snapshot", nil, &snap); code != 200 || len(snap.Shards) != 0 {
+		t.Fatalf("ephemeral snapshot = %d %+v", code, snap)
+	}
+
+	durable := newTestServer(t, router.Options{
+		DataDir: t.TempDir(),
+		Store:   store.Options{Fsync: false},
+	})
+	call(t, durable, "POST", "/ods", map[string]any{"statements": []string{"[A] -> [B]"}}, nil)
+	if code := call(t, durable, "POST", "/snapshot", nil, &snap); code != 200 {
+		t.Fatalf("snapshot = %d", code)
+	}
+	if got := snap.Shards[""]; got.Declared != 1 || got.Seq != 1 {
+		t.Fatalf("snapshot result = %+v", snap.Shards)
+	}
+
+	var health healthz
+	call(t, durable, "GET", "/healthz", nil, &health)
+	st := health.Shards[""].Store
+	if st == nil || st.Snapshots != 1 || st.WALBytes != 0 {
+		t.Fatalf("store stats after snapshot = %+v", st)
+	}
+
+	// ?schema= (present but empty) addresses the default shard alone.
+	if code := call(t, durable, "POST", "/snapshot?schema=", nil, &snap); code != 200 || len(snap.Shards) != 1 {
+		t.Fatalf("targeted default-shard snapshot = %d %+v", code, snap)
 	}
 }
 
 func TestBadRequests(t *testing.T) {
-	ts := httptest.NewServer(New(catalog.New()))
-	defer ts.Close()
+	ts := newTestServer(t, router.Options{})
 
 	cases := []struct {
 		method, path string
@@ -177,6 +368,7 @@ func TestBadRequests(t *testing.T) {
 		{"POST", "/ods", map[string]any{}},
 		{"POST", "/ods", map[string]any{"unknown": 1}},
 		{"POST", "/prove", map[string]string{"statement": "[A ->"}},
+		{"POST", "/prove/batch", map[string]any{"statements": []string{"[A] -> [B]", "broken"}}},
 		{"POST", "/rewrite", map[string]string{}},
 		{"POST", "/rewrite", map[string]string{"order": "[A]", "groupBy": "[B]"}},
 		{"POST", "/rewrite", map[string]string{"order": "[1bad]"}},
@@ -204,10 +396,13 @@ func TestBadRequests(t *testing.T) {
 }
 
 // TestConcurrentTraffic exercises the daemon the way an optimizer fleet
-// would: many goroutines proving and rewriting while constraints churn.
+// would: many goroutines proving and rewriting while constraints churn,
+// against a durable sharded router.
 func TestConcurrentTraffic(t *testing.T) {
-	ts := httptest.NewServer(New(catalog.New()))
-	defer ts.Close()
+	ts := newTestServer(t, router.Options{
+		DataDir: t.TempDir(),
+		Store:   store.Options{Fsync: true, SnapshotEvery: 16},
+	})
 
 	call(t, ts, "POST", "/ods", map[string]any{"statements": []string{"[A] -> [B]", "[B] -> [C]"}}, nil)
 
@@ -221,15 +416,18 @@ func TestConcurrentTraffic(t *testing.T) {
 				var body bytes.Buffer
 				var req *http.Request
 				var err error
-				switch (g + i) % 3 {
+				switch (g + i) % 4 {
 				case 0:
 					fmt.Fprintf(&body, `{"statement": "[A] -> [C]"}`)
 					req, err = http.NewRequest("POST", ts.URL+"/prove", &body)
 				case 1:
 					fmt.Fprintf(&body, `{"order": "[A, B, C]"}`)
 					req, err = http.NewRequest("POST", ts.URL+"/rewrite", &body)
+				case 2:
+					fmt.Fprintf(&body, `{"statements": ["[A] -> [C]", "[C] -> [A]"]}`)
+					req, err = http.NewRequest("POST", ts.URL+"/prove/batch", &body)
 				default:
-					fmt.Fprintf(&body, `{"statements": ["[G%d] -> [H%d]"]}`, g, i)
+					fmt.Fprintf(&body, `{"statements": ["[G%d] -> [H%d]"], "schema": "shard%d"}`, g, i, g%3)
 					req, err = http.NewRequest("POST", ts.URL+"/ods", &body)
 				}
 				if err != nil {
@@ -251,11 +449,11 @@ func TestConcurrentTraffic(t *testing.T) {
 	}
 	wg.Wait()
 
-	var health struct {
-		OK      bool          `json:"ok"`
-		Catalog catalog.Stats `json:"catalog"`
-	}
+	var health healthz
 	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 || !health.OK {
 		t.Fatalf("healthz after traffic = %d %+v", code, health)
+	}
+	if health.Totals.Shards != 4 { // default + shard0..2
+		t.Fatalf("shards after traffic = %+v", health.Totals)
 	}
 }

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"odlib/internal/core"
+)
+
+// Options configures a shard store.
+type Options struct {
+	// Fsync makes every group commit fsync before acknowledging. Disabling
+	// it trades crash durability (not consistency — recovery still truncates
+	// to a valid prefix) for throughput.
+	Fsync bool
+	// SnapshotEvery requests an automatic snapshot after that many appended
+	// records; 0 leaves snapshots to explicit Snapshot calls.
+	SnapshotEvery int
+}
+
+// Recovery describes what Open found: how the current in-memory state was
+// reconstructed. Served on /healthz so operators can see whether a restart
+// was warm and whether a crash tore the log.
+type Recovery struct {
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	SnapshotODs int    `json:"snapshotOds"`
+	Replayed    int    `json:"replayedRecords"`
+	TornBytes   int64  `json:"tornBytes"`
+}
+
+// Stats is a point-in-time summary of a shard store. WALError carries the
+// sticky write/sync failure when the log is dead — the shard still serves
+// reads from memory but rejects mutations, and health checks must see that.
+type Stats struct {
+	Seq           uint64   `json:"seq"`
+	SnapshotSeq   uint64   `json:"snapshotSeq"`
+	SinceSnapshot int      `json:"recordsSinceSnapshot"`
+	WALBytes      int64    `json:"walBytes"`
+	WALRecords    uint64   `json:"walRecords"`
+	CommitBatches uint64   `json:"commitBatches"`
+	Snapshots     uint64   `json:"snapshots"`
+	WALError      string   `json:"walError,omitempty"`
+	SnapshotError string   `json:"snapshotError,omitempty"`
+	Recovery      Recovery `json:"recovery"`
+}
+
+// Store is the durability engine of one catalog shard: a WAL for every
+// mutation plus a rotating snapshot. It hands recovered state back to the
+// caller at Open and afterwards only appends; the caller (internal/router)
+// owns the catalog the records apply to and serializes mutations so WAL
+// order equals apply order.
+type Store struct {
+	dir string
+	wal *wal
+	opt Options
+
+	mu            sync.Mutex
+	seq           uint64 // last assigned sequence number
+	snapshotSeq   uint64
+	sinceSnapshot int
+	snapshots     uint64
+	snapshotErr   error // last snapshot failure; cleared by a success
+	recovery      Recovery
+}
+
+// Open recovers a shard store from dir (created if absent): load the latest
+// snapshot, then scan the WAL — truncating any torn tail — and return the
+// records with sequence numbers after the snapshot, in log order. The caller
+// applies the snapshot ODs and then the records to an empty catalog, without
+// re-logging either (catalog.Apply), to reach exactly the pre-crash state.
+func Open(dir string, opt Options) (*Store, Snapshot, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Snapshot{}, nil, err
+	}
+	snap, _, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, Snapshot{}, nil, err
+	}
+	w, recs, torn, err := openWAL(filepath.Join(dir, "wal.log"), opt.Fsync)
+	if err != nil {
+		return nil, Snapshot{}, nil, err
+	}
+	// Make the (possibly just created) shard directory and wal.log entry
+	// durable: file fsyncs cover contents, not the directory entries naming
+	// them — without this, a power cut after the first acknowledged append
+	// on a fresh shard could lose the whole log file.
+	if err := syncDir(dir); err != nil {
+		w.close()
+		return nil, Snapshot{}, nil, err
+	}
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		w.close()
+		return nil, Snapshot{}, nil, err
+	}
+	// Replay strictly after the snapshot: a crash between snapshot rename
+	// and WAL reset legitimately leaves covered records in the log.
+	replay := recs[:0:0]
+	seq := snap.Seq
+	for _, rec := range recs {
+		if rec.Seq > seq {
+			replay = append(replay, rec)
+			seq = rec.Seq
+		}
+	}
+	s := &Store{
+		dir:           dir,
+		wal:           w,
+		opt:           opt,
+		seq:           seq,
+		snapshotSeq:   snap.Seq,
+		sinceSnapshot: len(replay),
+		recovery: Recovery{
+			SnapshotSeq: snap.Seq,
+			SnapshotODs: len(snap.ODs),
+			Replayed:    len(replay),
+			TornBytes:   torn,
+		},
+	}
+	return s, snap, replay, nil
+}
+
+// Append logs one mutation batch, assigning it the next sequence number, and
+// returns a Pending handle plus whether the automatic snapshot threshold has
+// been crossed. The caller must Wait on the handle before acknowledging the
+// mutation, and should call Snapshot soon when snapshotDue is true.
+func (s *Store) Append(op Op, ods []core.OD) (p *Pending, seq uint64, snapshotDue bool, err error) {
+	return s.appendRecord(Record{Op: op, ODs: ods})
+}
+
+// AppendBatch logs declares and removes as ONE record in one frame, so the
+// pair commits or fails atomically — never half of it.
+func (s *Store) AppendBatch(declares, removes []core.OD) (p *Pending, seq uint64, snapshotDue bool, err error) {
+	switch {
+	case len(removes) == 0:
+		return s.appendRecord(Record{Op: OpDeclare, ODs: declares})
+	case len(declares) == 0:
+		return s.appendRecord(Record{Op: OpRemove, ODs: removes})
+	default:
+		return s.appendRecord(Record{Op: OpBatch, ODs: declares, Removes: removes})
+	}
+}
+
+func (s *Store) appendRecord(rec Record) (p *Pending, seq uint64, snapshotDue bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.Seq = s.seq + 1
+	p, err = s.wal.append(rec)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	s.seq = rec.Seq
+	s.sinceSnapshot++
+	snapshotDue = s.opt.SnapshotEvery > 0 && s.sinceSnapshot >= s.opt.SnapshotEvery
+	return p, rec.Seq, snapshotDue, nil
+}
+
+// Seq returns the last assigned sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Snapshot durably writes ods as the state at seq and resets the WAL. The
+// caller must guarantee that ods is exactly the catalog state after applying
+// every record up to seq, and that no append runs concurrently (the shard
+// holds its mutation lock) — writers on this shard stall for the duration,
+// readers are unaffected.
+//
+// A snapshot failure is never a durability loss: the WAL is only reset
+// after the snapshot is fully durable, so on failure every record stays in
+// the log and recovery replays it. The failure is remembered in Stats
+// (SnapshotError) until a later snapshot succeeds.
+func (s *Store) Snapshot(seq uint64, ods []core.OD) error {
+	err := s.trySnapshot(seq, ods)
+	s.mu.Lock()
+	s.snapshotErr = err
+	if err == nil {
+		s.snapshotSeq = seq
+		s.sinceSnapshot = 0
+		s.snapshots++
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Store) trySnapshot(seq uint64, ods []core.OD) error {
+	if err := s.wal.flush(); err != nil {
+		return fmt.Errorf("store: flushing WAL before snapshot: %w", err)
+	}
+	if err := writeSnapshot(s.dir, Snapshot{Seq: seq, ODs: ods}); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := s.wal.reset(); err != nil {
+		return fmt.Errorf("store: resetting WAL after snapshot: %w", err)
+	}
+	return nil
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	size, records, batches, walErr := s.wal.stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Seq:           s.seq,
+		SnapshotSeq:   s.snapshotSeq,
+		SinceSnapshot: s.sinceSnapshot,
+		WALBytes:      size,
+		WALRecords:    records,
+		CommitBatches: batches,
+		Snapshots:     s.snapshots,
+		Recovery:      s.recovery,
+	}
+	if walErr != nil {
+		st.WALError = walErr.Error()
+	}
+	if s.snapshotErr != nil {
+		st.SnapshotError = s.snapshotErr.Error()
+	}
+	return st
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	return s.wal.close()
+}

@@ -1,0 +1,429 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"odlib/internal/core"
+)
+
+func mustODs(t *testing.T, stmts ...string) []core.OD {
+	t.Helper()
+	var out []core.OD
+	for _, s := range stmts {
+		od, err := core.ParseOD(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, od)
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, snap, replay, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 0 || len(replay) != 0 {
+		t.Fatalf("fresh store recovered snap=%+v replay=%d", snap, len(replay))
+	}
+	p1, seq1, _, err := s.Append(OpDeclare, mustODs(t, "[A] -> [B]", "[B] -> [C]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, seq2, _, err := s.Append(OpRemove, mustODs(t, "[A] -> [B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if seq1 != 1 || seq2 != 2 {
+		t.Fatalf("seqs = %d, %d; want 1, 2", seq1, seq2)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, snap2, replay2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if snap2.Seq != 0 {
+		t.Fatalf("no snapshot was written, got seq %d", snap2.Seq)
+	}
+	if len(replay2) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(replay2))
+	}
+	if replay2[0].Op != OpDeclare || len(replay2[0].ODs) != 2 ||
+		replay2[0].ODs[0].String() != "[A] -> [B]" {
+		t.Fatalf("record 1 = %+v", replay2[0])
+	}
+	if replay2[1].Op != OpRemove || replay2[1].Seq != 2 {
+		t.Fatalf("record 2 = %+v", replay2[1])
+	}
+	if got := s2.Seq(); got != 2 {
+		t.Fatalf("recovered seq %d, want 2", got)
+	}
+}
+
+func TestSnapshotAndReplaySuffix(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p, _, _, err := s.Append(OpDeclare, mustODs(t, fmt.Sprintf("[A%d] -> [A%d]", i, i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot at seq 5 with some state, then two more records.
+	if err := s.Snapshot(5, mustODs(t, "[A0] -> [A1]")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 7; i++ {
+		p, _, _, err := s.Append(OpDeclare, mustODs(t, fmt.Sprintf("[A%d] -> [A%d]", i, i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, snap, replay, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if snap.Seq != 5 || len(snap.ODs) != 1 {
+		t.Fatalf("snapshot = %+v, want seq 5 with 1 OD", snap)
+	}
+	if len(replay) != 2 || replay[0].Seq != 6 || replay[1].Seq != 7 {
+		t.Fatalf("replay = %+v, want seqs 6 and 7", replay)
+	}
+	st := s2.Stats()
+	if st.Recovery.SnapshotSeq != 5 || st.Recovery.Replayed != 2 {
+		t.Fatalf("recovery stats = %+v", st.Recovery)
+	}
+}
+
+// TestReplaySkipsCoveredRecords simulates a crash between snapshot rename
+// and WAL reset: the log still holds records the snapshot already covers,
+// and recovery must not apply them twice.
+func TestReplaySkipsCoveredRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p, _, _, err := s.Append(OpDeclare, mustODs(t, fmt.Sprintf("[B%d] -> [B%d]", i, i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Write the snapshot by hand, leaving the WAL in place — the crash window.
+	if err := writeSnapshot(dir, Snapshot{Seq: 3, ODs: mustODs(t, "[B0] -> [B1]")}); err != nil {
+		t.Fatal(err)
+	}
+	s2, snap, replay, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if snap.Seq != 3 {
+		t.Fatalf("snapshot seq = %d", snap.Seq)
+	}
+	if len(replay) != 1 || replay[0].Seq != 4 {
+		t.Fatalf("replay = %+v, want only seq 4", replay)
+	}
+}
+
+func TestCorruptSnapshotIsAHardError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot should fail Open, not silently drop state")
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, _, err := s.Append(OpDeclare, mustODs(t, fmt.Sprintf("[C%d] -> [D%d]", i, i)))
+			if err == nil {
+				err = p.Wait()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.WALRecords != writers {
+		t.Fatalf("recorded %d, want %d", st.WALRecords, writers)
+	}
+	if st.CommitBatches > st.WALRecords {
+		t.Fatalf("batches %d exceed records %d", st.CommitBatches, st.WALRecords)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, replay, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != writers {
+		t.Fatalf("recovered %d records, want %d", len(replay), writers)
+	}
+}
+
+// TestOversizedRecordRejected: a record the recovery scan would discard as
+// corruption must be rejected at append time, never acknowledged.
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	huge := core.OD{
+		LHS: core.List{core.Attribute(strings.Repeat("a", maxRecordBytes))},
+		RHS: core.L("B"),
+	}
+	if _, _, _, err := s.Append(OpDeclare, []core.OD{huge}); err == nil {
+		t.Fatal("oversized record should be rejected at append, not truncated at recovery")
+	}
+	// The store stays usable for sane records.
+	p, _, _, err := s.Append(OpDeclare, mustODs(t, "[A] -> [B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStickyWALFailure: once a commit fails, the failure is acknowledged to
+// the waiter, surfaced in Stats, and every later append fails fast.
+func TestStickyWALFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file out from under the committer.
+	if err := s.wal.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, _, _, err := s.Append(OpDeclare, mustODs(t, "[A] -> [B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); err == nil {
+		t.Fatal("commit against a closed file should fail the waiter")
+	}
+	if _, _, _, err := s.Append(OpDeclare, mustODs(t, "[B] -> [C]")); err == nil {
+		t.Fatal("appends after a sticky failure should fail fast")
+	}
+	if st := s.Stats(); st.WALError == "" {
+		t.Fatalf("sticky WAL failure not surfaced in stats: %+v", st)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.Append(OpDeclare, mustODs(t, "[A] -> [B]")); err == nil {
+		t.Fatal("append after close should fail")
+	}
+}
+
+// frameEnds parses the raw WAL bytes and returns the byte offset at which
+// each frame ends, mirroring the on-disk format independently of scanWAL.
+func frameEnds(t *testing.T, raw []byte) []int64 {
+	t.Helper()
+	var ends []int64
+	off := int64(0)
+	for off+frameHeaderLen <= int64(len(raw)) {
+		n := int64(binary.LittleEndian.Uint32(raw[off : off+4]))
+		if off+frameHeaderLen+n > int64(len(raw)) {
+			break
+		}
+		off += frameHeaderLen + n
+		ends = append(ends, off)
+	}
+	if off != int64(len(raw)) {
+		t.Fatalf("WAL has %d trailing bytes after the last whole frame", int64(len(raw))-off)
+	}
+	return ends
+}
+
+// TestTornWriteRecovery is the crash harness: it cuts the WAL at every byte
+// offset and asserts recovery is prefix-consistent — no panic, no decode of
+// garbage, and every acknowledged record whose frame lies entirely before
+// the cut survives.
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		// Vary record sizes so cuts land in headers, payloads and boundaries.
+		stmts := []string{fmt.Sprintf("[T%d] -> [T%d]", i, i+1)}
+		for j := 0; j < i; j++ {
+			stmts = append(stmts, fmt.Sprintf("[T%d, X%d] -> [Y%d]", i, j, j))
+		}
+		p, _, _, err := s.Append(OpDeclare, mustODs(t, stmts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameEnds(t, raw)
+	if len(ends) != n {
+		t.Fatalf("wrote %d frames, found %d", n, len(ends))
+	}
+
+	for cut := int64(0); cut <= int64(len(raw)); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, "wal.log"), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, _, replay, err := Open(cutDir, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: open failed: %v", cut, err)
+		}
+		// Acknowledged records fully on disk before the cut must survive.
+		wantComplete := 0
+		for _, end := range ends {
+			if end <= cut {
+				wantComplete++
+			}
+		}
+		if len(replay) != wantComplete {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(replay), wantComplete)
+		}
+		for i, rec := range replay {
+			if rec.Seq != uint64(i+1) || len(rec.ODs) != i+1 {
+				t.Fatalf("cut at %d: record %d = %+v", cut, i, rec)
+			}
+		}
+		// Recovery must leave a usable store: the next append goes through.
+		p, seq, _, err := s2.Append(OpDeclare, mustODs(t, "[Z] -> [W]"))
+		if err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatalf("cut at %d: commit after recovery: %v", cut, err)
+		}
+		if seq != uint64(wantComplete)+1 {
+			t.Fatalf("cut at %d: post-recovery seq %d, want %d", cut, seq, wantComplete+1)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTornTailWithCorruptCRC flips a byte in the last frame's payload: the
+// scan must drop exactly that frame and keep the earlier ones.
+func TestTornTailWithCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p, _, _, err := s.Append(OpDeclare, mustODs(t, fmt.Sprintf("[K%d] -> [K%d]", i, i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameEnds(t, raw)
+	raw[ends[1]+frameHeaderLen+2] ^= 0xff // inside the last frame's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, replay, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(replay) != 2 {
+		t.Fatalf("recovered %d records after CRC corruption, want 2", len(replay))
+	}
+	if st := s2.Stats(); st.Recovery.TornBytes == 0 {
+		t.Fatal("torn bytes not reported")
+	}
+}

@@ -1,0 +1,374 @@
+// Package store is the durability subsystem of the OD constraint catalog: an
+// append-only write-ahead log of declare/remove records plus periodic
+// snapshots of the declared set, giving a catalog shard crash recovery with
+// no lost acknowledged mutation.
+//
+// The paper treats declared ODs as schema constraints a DBMS consults on
+// every query (Sections 2.3 and 6); a constraint catalog that evaporates on
+// restart cannot play that role. The layout per shard directory:
+//
+//	wal.log        length-prefixed JSON frames, one per mutation batch
+//	snapshot.json  latest snapshot {seq, ods}, replaced by atomic rename
+//
+// Frame format: 4-byte little-endian payload length, 4-byte little-endian
+// CRC32 (IEEE) of the payload, then the JSON payload. On open the log is
+// scanned sequentially; the first short, corrupt or CRC-mismatched frame
+// marks a torn tail — everything from there on is truncated away, which is
+// exactly the prefix-consistency a crashed group commit can leave behind.
+//
+// Appends are acknowledged through a group-commit goroutine: writers stage
+// frames into the current batch and wait; the committer writes the whole
+// batch with one write syscall and (when enabled) one fsync, then releases
+// every waiter. Under concurrent load the fsync cost amortizes across all
+// writers of a batch. A mutation is acknowledged to clients only after its
+// batch is durable.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"odlib/internal/core"
+)
+
+// Op is the kind of a logged mutation.
+type Op string
+
+// The mutation kinds the catalog supports. A batch record carries declares
+// and removes together in ONE frame, so a mixed /ods/batch is atomic on
+// disk — two separate records could land in different group commits, and a
+// crash (or commit failure) between them would resurrect half a batch the
+// client was told failed.
+const (
+	OpDeclare Op = "declare"
+	OpRemove  Op = "remove"
+	OpBatch   Op = "batch"
+)
+
+// Record is one logged mutation batch, applied atomically at recovery. For
+// OpDeclare and OpRemove the ODs field holds the affected ODs; OpBatch
+// declares ODs and withdraws Removes, in that order. ODs travel in the
+// stable statement wire form (core.OD.MarshalText).
+type Record struct {
+	Seq     uint64    `json:"seq"`
+	Op      Op        `json:"op"`
+	ODs     []core.OD `json:"ods,omitempty"`
+	Removes []core.OD `json:"removes,omitempty"`
+}
+
+// maxRecordBytes bounds a frame's payload. append enforces it on the write
+// side, so on the read side a longer length word can only be corruption and
+// is treated as a torn tail. The bound comfortably exceeds anything a
+// size-capped HTTP batch can expand to (the server caps bodies at 8 MiB and
+// statement expansion is a small constant factor); without the write-side
+// check, an oversized record would be acknowledged durable and then silently
+// truncated away on the next open.
+const maxRecordBytes = 64 << 20
+
+// frameHeaderLen is the length + CRC prefix of every frame.
+const frameHeaderLen = 8
+
+// wal is the append-only log of one shard. Safe for concurrent Append; Flush
+// and Reset require the owner (the shard) to exclude concurrent Appends.
+type wal struct {
+	path  string
+	fsync bool
+
+	mu       sync.Mutex
+	f        *os.File
+	cur      *walBatch // accumulating batch, not yet picked up
+	inflight *walBatch // batch the committer is writing
+	err      error     // sticky write/sync failure
+	closed   bool
+	size     int64 // bytes of durable, valid frames
+	records  uint64
+	batches  uint64
+
+	kick  chan struct{}
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// walBatch is one group commit: the concatenated frames of every writer that
+// staged while the committer was busy, released together.
+type walBatch struct {
+	buf  []byte
+	n    uint64 // records staged in buf
+	done chan struct{}
+	err  error
+}
+
+// Pending is a staged append; Wait blocks until the containing group commit
+// is durable and returns its outcome. Acknowledge mutations to clients only
+// after Wait returns nil.
+type Pending struct{ b *walBatch }
+
+// Wait blocks until the record's batch has been written (and fsynced when
+// enabled), returning the batch's write error if any.
+func (p *Pending) Wait() error {
+	if p == nil || p.b == nil {
+		return nil
+	}
+	<-p.b.done
+	return p.b.err
+}
+
+// openWAL opens (creating if needed) the log at path, scans it for valid
+// records, truncates any torn tail, and starts the group-commit goroutine.
+// It returns the recovered records in log order and how many trailing bytes
+// were cut.
+func openWAL(path string, fsync bool) (*wal, []Record, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	recs, goodOff, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	torn := st.Size() - goodOff
+	if torn > 0 {
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	w := &wal{
+		path:    path,
+		fsync:   fsync,
+		f:       f,
+		size:    goodOff,
+		records: uint64(len(recs)),
+		kick:    make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.commit()
+	return w, recs, torn, nil
+}
+
+// scanWAL reads frames from the start of f, stopping at the first torn or
+// corrupt one, and returns the decoded records plus the offset of the last
+// valid frame's end.
+func scanWAL(f *os.File) ([]Record, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReader(f)
+	var recs []Record
+	var off int64
+	for {
+		var hdr [frameHeaderLen]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // clean end or torn header
+			}
+			return nil, 0, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordBytes {
+			break // corrupt length word
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn payload
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or a torn rewrite
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // CRC-valid but undecodable: treat as tail corruption
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + int64(n)
+	}
+	return recs, off, nil
+}
+
+// encodeFrame renders one record as a wire frame.
+func encodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// append stages a record into the current group-commit batch and returns a
+// Pending handle. The caller must Wait before acknowledging the mutation.
+func (w *wal) append(rec Record) (*Pending, error) {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) > frameHeaderLen+maxRecordBytes {
+		return nil, fmt.Errorf("store: record of %d bytes exceeds the %d-byte WAL frame limit; split the batch",
+			len(frame)-frameHeaderLen, maxRecordBytes)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("store: WAL %s is closed", w.path)
+	}
+	if w.err != nil {
+		return nil, fmt.Errorf("store: WAL %s failed earlier: %w", w.path, w.err)
+	}
+	if w.cur == nil {
+		w.cur = &walBatch{done: make(chan struct{})}
+	}
+	w.cur.buf = append(w.cur.buf, frame...)
+	w.cur.n++
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return &Pending{b: w.cur}, nil
+}
+
+// commit is the group-commit goroutine: it drains staged batches, writing
+// each with one write call and at most one fsync, then releases the batch's
+// waiters. One slow fsync therefore covers every writer that staged while it
+// was pending — the latency of an append under load is one batch, not one
+// fsync per record.
+func (w *wal) commit() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.kick:
+		case <-w.stopc:
+			w.commitOne() // flush whatever is still staged
+			return
+		}
+		w.commitOne()
+	}
+}
+
+func (w *wal) commitOne() {
+	w.mu.Lock()
+	b := w.cur
+	w.cur = nil
+	w.inflight = b
+	sticky := w.err
+	w.mu.Unlock()
+	if b == nil {
+		return
+	}
+	err := sticky
+	if err == nil {
+		_, err = w.f.Write(b.buf)
+		if err == nil && w.fsync {
+			err = w.f.Sync()
+		}
+	}
+	w.mu.Lock()
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+	} else {
+		// size and records advance only on success: they describe what a
+		// recovery scan of the log will actually find.
+		w.size += int64(len(b.buf))
+		w.records += b.n
+		w.batches++
+	}
+	w.inflight = nil
+	w.mu.Unlock()
+	b.err = err
+	close(b.done)
+}
+
+// flush waits until every staged batch has committed. The caller must
+// exclude concurrent appends (the shard holds its mutation lock).
+func (w *wal) flush() error {
+	for {
+		w.mu.Lock()
+		cur, inflight, sticky := w.cur, w.inflight, w.err
+		w.mu.Unlock()
+		if cur == nil && inflight == nil {
+			return sticky
+		}
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+		if inflight != nil {
+			<-inflight.done
+		} else {
+			<-cur.done
+		}
+	}
+}
+
+// reset truncates the log to empty after a snapshot has made its contents
+// redundant. The caller must exclude concurrent appends and have flushed.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur != nil || w.inflight != nil {
+		return fmt.Errorf("store: reset with staged batches; flush first")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.size = 0
+	w.records = 0
+	return nil
+}
+
+// close stops the committer (flushing staged batches) and closes the file.
+func (w *wal) close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stopc)
+	<-w.done
+	return w.f.Close()
+}
+
+// stats returns durable size, counters and the sticky failure under the lock.
+func (w *wal) stats() (size int64, records, batches uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size, w.records, w.batches, w.err
+}
