@@ -104,3 +104,78 @@ func TestUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment should error")
 	}
 }
+
+// decodeBench reads and unmarshals a written BENCH_<name>.json.
+func decodeBench(t *testing.T, dir, name string, v any) {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", name, err)
+	}
+}
+
+// TestParallelExperimentJSON runs the worker-pool experiment end to end.
+// Wall-clock speedup is only asserted positive (a loaded test box must not
+// turn a measurement into a correctness failure; CI gates the regenerated
+// JSON), but the node ratio — how many fewer tree nodes the pool visits —
+// is scheduler-independent and must clear the 1.5x contract here too.
+func TestParallelExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "parallel", "-json", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Experiment string `json:"experiment"`
+		Metrics    []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	decodeBench(t, dir, "BENCH_parallel.json", &res)
+	if res.Experiment != "parallel" {
+		t.Errorf("experiment = %q", res.Experiment)
+	}
+	byName := map[string]float64{}
+	for _, m := range res.Metrics {
+		byName[m.Name] = m.Value
+	}
+	if v, ok := byName["speedup"]; !ok || v <= 0 {
+		t.Errorf("speedup = %v (present %v), want > 0", v, ok)
+	}
+	if v, ok := byName["node_ratio"]; !ok || v < 1.5 {
+		t.Errorf("node_ratio = %v (present %v), want >= 1.5", v, ok)
+	}
+}
+
+// TestChurnExperimentJSON runs the churn experiment end to end: the negative
+// closure must have served refutations across generation bumps (hits per
+// generation at least 1) — that survival is the tier's whole point.
+func TestChurnExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "churn", "-json", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Experiment string `json:"experiment"`
+		Metrics    []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	decodeBench(t, dir, "BENCH_churn.json", &res)
+	if res.Experiment != "churn" {
+		t.Errorf("experiment = %q", res.Experiment)
+	}
+	negHits := -1.0
+	for _, m := range res.Metrics {
+		if m.Name == "negative_hits_per_generation" {
+			negHits = m.Value
+		}
+	}
+	if negHits < 1 {
+		t.Errorf("negative_hits_per_generation = %v, want >= 1", negHits)
+	}
+}

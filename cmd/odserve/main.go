@@ -12,6 +12,7 @@
 //	odserve -addr :8080 -ods constraints.txt -memo 65536
 //	odserve -addr :8080 -data-dir /var/lib/odserve -snapshot-every 1024
 //	odserve -addr :8080 -data-dir /var/lib/odserve -fsync=false -shard-by-prefix
+//	odserve -addr :8080 -prove-workers 8 -prove-timeout 2s
 //
 // Endpoints (see internal/server):
 //
@@ -38,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -70,14 +72,20 @@ func run(args []string, ready chan<- string) (err error) {
 	snapshotEvery := fs.Int("snapshot-every", 1024, "automatic snapshot after this many WAL records per shard; 0 = manual only")
 	fsync := fs.Bool("fsync", true, "fsync every WAL group commit before acknowledging")
 	shardByPrefix := fs.Bool("shard-by-prefix", false, "derive shard keys from attribute-name prefixes (before the first underscore)")
+	proveWorkers := fs.Int("prove-workers", runtime.GOMAXPROCS(0), "goroutines per pattern search; 1 = sequential")
+	proveTimeout := fs.Duration("prove-timeout", 0, "server-side bound on each prove/rewrite search; 0 = unbounded")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	rt, err := router.Open(router.Options{
-		DataDir:       *dataDir,
-		Store:         store.Options{Fsync: *fsync, SnapshotEvery: *snapshotEvery},
-		Catalog:       []catalog.Option{catalog.WithMemoCapacity(*memo), catalog.WithMaxAttrs(*maxAttrs)},
+		DataDir: *dataDir,
+		Store:   store.Options{Fsync: *fsync, SnapshotEvery: *snapshotEvery},
+		Catalog: []catalog.Option{
+			catalog.WithMemoCapacity(*memo),
+			catalog.WithMaxAttrs(*maxAttrs),
+			catalog.WithWorkers(*proveWorkers),
+		},
 		ShardByPrefix: *shardByPrefix,
 	})
 	if err != nil {
@@ -109,7 +117,7 @@ func run(args []string, ready chan<- string) (err error) {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           server.New(rt),
+		Handler:           server.New(rt, server.WithProveTimeout(*proveTimeout)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

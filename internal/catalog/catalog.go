@@ -10,17 +10,17 @@
 // exponential in the mentioned attributes. The catalog supplies the missing
 // machinery, following the shape of Hyrise's OrderDependency storage —
 // hashing with equality buckets, inflate/deflate, eager transitive-closure
-// construction — adapted to list-based OD semantics:
+// construction — adapted to list-based OD semantics.
 //
-//   - declared ODs are deduplicated via core.OD.Hash/Equal after
-//     per-side normalization (OD3);
-//   - an inflated transitive closure is maintained eagerly on every
-//     mutation, so closure membership answers many implication questions in
-//     O(1) without touching the prover;
-//   - a bounded, sharded, generation-stamped VerdictMemo caches full prover
-//     verdicts; catalog mutations advance the generation, which invalidates
-//     every memoized verdict at once. Repeated Implies/ReduceOrder calls
-//     against an unchanged catalog skip the exponential search entirely.
+// Implication questions descend an explicit verdict tier chain, cheapest
+// first; each tier's hits are counted in Stats:
+//
+//	trivial      syntactic triviality, no state consulted
+//	closure      membership in the eagerly maintained transitive closure
+//	negative     the negative closure: refuted ODs with witnesses, kept
+//	             valid across mutations by incremental revalidation
+//	memo         the bounded, generation-stamped verdict memo
+//	search       the prover's (optionally parallel) pattern search
 //
 // All methods are safe for concurrent use. Mutations (Add, Remove) hold an
 // exclusive lock and eagerly rebuild the closure and a fresh prover pinned
@@ -29,11 +29,16 @@
 // never stall mutations — or, through a pending writer, the whole daemon.
 // Memo entries carry the generation of the snapshot that computed them, so
 // a verdict finishing after a mutation lands under its own (dead)
-// generation rather than poisoning the new one.
+// generation rather than poisoning the new one. The Ctx method variants
+// thread a context.Context into the search, so callers (the HTTP layer,
+// with client disconnects and prove deadlines) can abort in-flight work.
 package catalog
 
 import (
+	"context"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"odlib/internal/core"
 	"odlib/internal/prover"
@@ -47,15 +52,46 @@ type Catalog struct {
 	closure  *odSet // inflated transitive closure of declared (non-trivial ODs only)
 	gen      uint64 // bumped on every effective mutation
 	maxAttrs int
+	workers  int
 	memo     *VerdictMemo
+	neg      *negSet
 	prov     *prover.Prover       // prover over the current declared set, memo-backed
 	cons     *rewrite.Constraints // rewrite constraints sharing prov
+
+	// tiers counts verdict fast-path hits; counters aggregates search
+	// effort. Both live on the catalog, not the per-generation prover, so
+	// they survive rebuilds and report cumulative work on /healthz.
+	tiers    tierCounters
+	counters prover.Counters
 
 	// Sorted listings precomputed per generation, so Declared/Snapshot/
 	// Listing copy a slice under the read lock instead of re-sorting and
 	// re-deflating immutable state on every call.
 	declaredList []core.OD
 	deflatedList []core.OD
+}
+
+// tierCounters tallies verdict tier hits atomically.
+type tierCounters struct {
+	trivial, closure, negative, memo, search atomic.Uint64
+}
+
+// TierStats is a point-in-time copy of the verdict tier hit counters.
+type TierStats struct {
+	Trivial  uint64 `json:"trivial"`
+	Closure  uint64 `json:"closure"`
+	Negative uint64 `json:"negative"`
+	Memo     uint64 `json:"memo"`
+	Search   uint64 `json:"search"`
+}
+
+// ProverStats summarizes search configuration and cumulative effort.
+type ProverStats struct {
+	Workers   uint64 `json:"workers"`
+	Nodes     uint64 `json:"nodes"`
+	Searches  uint64 `json:"searches"`
+	Cancelled uint64 `json:"cancelled"`
+	Widenings uint64 `json:"widenings"`
 }
 
 // Option configures a Catalog.
@@ -72,12 +108,21 @@ func WithMaxAttrs(n int) Option {
 	return func(c *Catalog) { c.maxAttrs = n }
 }
 
-// New creates an empty catalog.
+// WithWorkers sets the prover's search parallelism for questions asked
+// through the catalog. n <= 1 keeps searches sequential.
+func WithWorkers(n int) Option {
+	return func(c *Catalog) { c.workers = n }
+}
+
+// New creates an empty catalog. Searches default to one worker per
+// available CPU; override with WithWorkers.
 func New(opts ...Option) *Catalog {
 	c := &Catalog{
 		declared: newODSet(),
 		closure:  newODSet(),
 		maxAttrs: prover.DefaultMaxAttrs,
+		workers:  runtime.GOMAXPROCS(0),
+		neg:      newNegSet(DefaultNegativeCapacity),
 	}
 	for _, o := range opts {
 		o(c)
@@ -148,10 +193,9 @@ func (c *Catalog) Apply(muts []Mutation) (added, removed int, st Stats) {
 // ApplyEffective is Apply plus the net effect on the declared set: netAdded
 // holds ODs present after the batch that were absent before, netRemoved the
 // reverse. An OD declared and withdrawn within one batch appears in
-// neither. The net lists are what a caller needs to roll the batch back —
-// applying {remove netAdded; declare netRemoved} restores the pre-batch
-// declared set exactly — which the router does when a batch turns out not
-// to be durable.
+// neither. The net lists are what incremental maintenance keys on: the
+// closure extends or shrinks from them, and the negative closure revalidates
+// its witnesses against exactly the net-added ODs.
 func (c *Catalog) ApplyEffective(muts []Mutation) (added, removed int, netAdded, netRemoved []core.OD, st Stats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -197,16 +241,21 @@ func (c *Catalog) ApplyEffective(muts []Mutation) (added, removed int, netAdded,
 	case added == 0 && removed == 0:
 	case removed == 0:
 		c.gen = c.memo.Invalidate()
+		c.neg.advance(c.gen, netAdded)
 		c.closure = extendClosure(c.closure, netAdded)
 		c.refreshLocked()
 	case added == 0:
 		c.gen = c.memo.Invalidate()
+		c.neg.advance(c.gen, nil)
 		c.closure = shrinkClosure(c.closure, netRemoved, c.declared.slice())
 		c.refreshLocked()
 	default:
 		// Mixed batches interleave adds and removes; one full recompute is
-		// still a single rebuild for the whole batch.
+		// still a single rebuild for the whole batch. Negative-closure
+		// witnesses only need checking against what was net added — the
+		// removals cannot invalidate them.
 		c.gen = c.memo.Invalidate()
+		c.neg.advance(c.gen, netAdded)
 		c.rebuildLocked()
 	}
 	return added, removed, netAdded, netRemoved, c.statsLocked()
@@ -224,45 +273,85 @@ func (c *Catalog) rebuildLocked() {
 // (already maintained) closure. Everything built here is immutable
 // afterwards (a later mutation assigns fresh values instead of modifying
 // these), which is what lets readers snapshot it and work outside the lock.
-// The prover's cache view is pinned to the current generation.
+// The prover's cache view is pinned to the current generation; the shared
+// tier/effort counters ride along so statistics survive the rebuild.
 func (c *Catalog) refreshLocked() {
 	declared := c.declared.slice()
 	c.declaredList = declared
 	c.deflatedList = Deflate(c.closure.slice())
 	c.prov = prover.New(declared,
 		prover.WithMaxAttrs(c.maxAttrs),
+		prover.WithWorkers(c.workers),
+		prover.WithCounters(&c.counters),
 		prover.WithCache(c.memo.At(c.gen)))
 	c.cons = rewrite.NewConstraints(nil, declared).UseProver(c.prov)
 }
 
 // snapshot captures the current immutable read state under a brief shared
 // lock. The returned pieces are never modified after construction, so the
-// caller can prove and rewrite against them with no lock held.
+// caller can prove and rewrite against them with no lock held. The memo
+// view, negative closure and tier counters are shared mutable state with
+// their own synchronization; the generation pins which of their entries
+// this snapshot may believe.
 type snapshot struct {
 	gen     uint64
 	closure *odSet
 	prov    *prover.Prover
 	cons    *rewrite.Constraints
+	memo    MemoView
+	neg     *negSet
+	tiers   *tierCounters
 }
 
 func (c *Catalog) snapshot() snapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return snapshot{gen: c.gen, closure: c.closure, prov: c.prov, cons: c.cons}
+	return snapshot{
+		gen:     c.gen,
+		closure: c.closure,
+		prov:    c.prov,
+		cons:    c.cons,
+		memo:    c.memo.At(c.gen),
+		neg:     c.neg,
+		tiers:   &c.tiers,
+	}
 }
 
-// impliesWitness decides one question against the snapshot. The fast path —
-// triviality, then closure membership — answers without the prover; the
-// slow path runs the generation-pinned, memo-backed prover.
-func (s snapshot) impliesWitness(od core.OD) (bool, *core.Pattern, error) {
+// impliesWitness decides one question against the snapshot by descending the
+// verdict tier chain, cheapest first: triviality, positive transitive-
+// closure membership, negative-closure membership (refuted with a still-
+// valid witness), the generation-pinned memo, and finally the prover's
+// pattern search — whose verdict is stored back into the memo and, on
+// refutation, the negative closure. Each tier taken bumps its hit counter.
+func (s snapshot) impliesWitness(ctx context.Context, od core.OD) (bool, *core.Pattern, error) {
 	od = canon(od)
 	if od.Trivial() {
+		s.tiers.trivial.Add(1)
 		return true, nil, nil
 	}
 	if s.closure.has(od) {
+		s.tiers.closure.Add(1)
 		return true, nil, nil
 	}
-	return s.prov.ImpliesWitness(od)
+	key := od.Key()
+	if w, ok := s.neg.get(key, s.gen); ok {
+		s.tiers.negative.Add(1)
+		return false, w, nil
+	}
+	if v, ok := s.memo.Get(key); ok {
+		s.tiers.memo.Add(1)
+		return v.Implied, v.Witness, nil
+	}
+	s.tiers.search.Add(1)
+	v, err := s.prov.DecideCtx(ctx, od)
+	if err != nil {
+		return false, nil, err
+	}
+	s.memo.Put(key, v)
+	if !v.Implied {
+		s.neg.put(key, od, v.Witness, s.gen)
+	}
+	return v.Implied, v.Witness, nil
 }
 
 // Declared returns the declared ODs in canonical sorted order.
@@ -327,10 +416,13 @@ func (c *Catalog) Listing() Listing {
 
 // Stats is a point-in-time summary of the catalog.
 type Stats struct {
-	Declared   int       `json:"declared"`
-	Closure    int       `json:"closure"`
-	Generation uint64    `json:"generation"`
-	Memo       MemoStats `json:"memo"`
+	Declared   int         `json:"declared"`
+	Closure    int         `json:"closure"`
+	Negative   int         `json:"negativeClosure"`
+	Generation uint64      `json:"generation"`
+	Memo       MemoStats   `json:"memo"`
+	Tiers      TierStats   `json:"tiers"`
+	Prover     ProverStats `json:"prover"`
 }
 
 // Stats returns current counters.
@@ -341,11 +433,29 @@ func (c *Catalog) Stats() Stats {
 }
 
 func (c *Catalog) statsLocked() Stats {
+	eff := c.counters.Snapshot()
 	return Stats{
 		Declared:   c.declared.len(),
 		Closure:    c.closure.len(),
+		Negative:   c.neg.size(),
 		Generation: c.gen,
 		Memo:       c.memo.Stats(),
+		Tiers: TierStats{
+			Trivial:  c.tiers.trivial.Load(),
+			Closure:  c.tiers.closure.Load(),
+			Negative: c.tiers.negative.Load(),
+			Memo:     c.tiers.memo.Load(),
+			Search:   c.tiers.search.Load(),
+		},
+		Prover: ProverStats{
+			// The prover clamps the configured value into its valid range;
+			// report the effective parallelism, not the raw option.
+			Workers:   uint64(c.prov.Workers()),
+			Nodes:     eff.Nodes,
+			Searches:  eff.Searches,
+			Cancelled: eff.Cancelled,
+			Widenings: eff.Widenings,
+		},
 	}
 }
 
@@ -355,11 +465,23 @@ func (c *Catalog) Implies(od core.OD) (bool, error) {
 	return ok, err
 }
 
+// ImpliesCtx is Implies honoring cancellation.
+func (c *Catalog) ImpliesCtx(ctx context.Context, od core.OD) (bool, error) {
+	ok, _, err := c.ImpliesWitnessCtx(ctx, od)
+	return ok, err
+}
+
 // ImpliesWitness is Implies plus a two-row counterexample on refutation.
-// The witness may be served from the memo and shared with other callers; it
-// must be treated as read-only.
+// The witness may be served from the memo or the negative closure and
+// shared with other callers; it must be treated as read-only.
 func (c *Catalog) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
-	return c.snapshot().impliesWitness(od)
+	return c.ImpliesWitnessCtx(context.Background(), od)
+}
+
+// ImpliesWitnessCtx is ImpliesWitness honoring cancellation: a cancelled
+// context aborts the pattern search and surfaces the context's error.
+func (c *Catalog) ImpliesWitnessCtx(ctx context.Context, od core.OD) (bool, *core.Pattern, error) {
+	return c.snapshot().impliesWitness(ctx, od)
 }
 
 // ImpliesAllWitness decides a conjunction of ODs atomically: every question
@@ -370,9 +492,14 @@ func (c *Catalog) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 // separate Implies calls could interleave with a mutation and report a
 // conjunction no single generation of the catalog ever implied.
 func (c *Catalog) ImpliesAllWitness(ods []core.OD) (bool, *core.Pattern, uint64, error) {
+	return c.ImpliesAllWitnessCtx(context.Background(), ods)
+}
+
+// ImpliesAllWitnessCtx is ImpliesAllWitness honoring cancellation.
+func (c *Catalog) ImpliesAllWitnessCtx(ctx context.Context, ods []core.OD) (bool, *core.Pattern, uint64, error) {
 	s := c.snapshot()
 	for _, od := range ods {
-		ok, w, err := s.impliesWitness(od)
+		ok, w, err := s.impliesWitness(ctx, od)
 		if err != nil {
 			return false, nil, s.gen, err
 		}
@@ -398,12 +525,20 @@ type ProveResult struct {
 // what lets /prove/batch amortize snapshot and transport costs across
 // statements while staying atomic.
 func (c *Catalog) ProveEach(qs [][]core.OD) ([]ProveResult, uint64) {
+	return c.ProveEachCtx(context.Background(), qs)
+}
+
+// ProveEachCtx is ProveEach honoring cancellation. Once the context dies,
+// the in-flight search aborts and every remaining statement reports the
+// context's error — the batch drains fast instead of burning search nodes
+// for a client that has hung up.
+func (c *Catalog) ProveEachCtx(ctx context.Context, qs [][]core.OD) ([]ProveResult, uint64) {
 	s := c.snapshot()
 	out := make([]ProveResult, len(qs))
 	for i, ods := range qs {
 		res := ProveResult{Implied: true}
 		for _, od := range ods {
-			ok, w, err := s.impliesWitness(od)
+			ok, w, err := s.impliesWitness(ctx, od)
 			if err != nil {
 				res = ProveResult{Err: err}
 				break
@@ -445,8 +580,14 @@ func (c *Catalog) ReduceOrder(order core.List) (rewrite.Result, error) {
 // ReduceOrderStamped is ReduceOrder plus the generation of the constraint
 // set the reduction ran against.
 func (c *Catalog) ReduceOrderStamped(order core.List) (rewrite.Result, uint64, error) {
+	return c.ReduceOrderStampedCtx(context.Background(), order)
+}
+
+// ReduceOrderStampedCtx is ReduceOrderStamped honoring cancellation of the
+// implication searches the reduction runs.
+func (c *Catalog) ReduceOrderStampedCtx(ctx context.Context, order core.List) (rewrite.Result, uint64, error) {
 	s := c.snapshot()
-	res, err := rewrite.ReduceOrder(order, s.cons)
+	res, err := rewrite.ReduceOrderCtx(ctx, order, s.cons)
 	return res, s.gen, err
 }
 

@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"sync"
+
+	"odlib/internal/core"
+)
+
+// DefaultNegativeCapacity bounds the negative closure when no capacity is
+// given. Entries are one OD plus one witness pattern; 16k of them cost a few
+// megabytes.
+const DefaultNegativeCapacity = 1 << 14
+
+// negSet is the negative closure: refuted ODs with their two-row
+// counterexample witnesses. It is the pessimistic sibling of the transitive
+// closure fast path — where closure membership proves implication in O(1),
+// a negative entry proves NON-implication in O(1), witness included.
+//
+// Unlike the verdict memo, which dies wholesale on every generation bump,
+// the negative closure is maintained incrementally across mutations: a
+// stored witness w certifies "w satisfies M and falsifies q", and that
+// certificate survives any mutation that w still satisfies. Removals can
+// never invalidate it (M only shrinks, and w satisfied the superset), so a
+// pure removal is an O(1) generation bump; additions are checked witness-
+// by-witness against the net-added ODs only — attributes a witness never
+// assigned read as Equal, exactly the extension the prover validated it
+// under. Refutations therefore stay O(1) across the churn that costs the
+// memo everything, which is what the churn benchmark measures.
+//
+// Resident entries are always valid for gen exactly: put refuses verdicts
+// from any other generation and advance evicts or re-admits everything it
+// keeps, so no per-entry stamp is needed.
+type negSet struct {
+	mu  sync.Mutex
+	cap int
+	gen uint64 // generation the resident entries are valid for
+	m   map[string]negEntry
+}
+
+type negEntry struct {
+	od core.OD
+	w  *core.Pattern
+}
+
+func newNegSet(capacity int) *negSet {
+	if capacity <= 0 {
+		capacity = DefaultNegativeCapacity
+	}
+	return &negSet{cap: capacity, m: make(map[string]negEntry)}
+}
+
+// get returns the stored witness for key when the set is valid at gen.
+func (n *negSet) get(key string, gen uint64) (*core.Pattern, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if gen != n.gen {
+		return nil, false
+	}
+	e, ok := n.m[key]
+	if !ok {
+		return nil, false
+	}
+	return e.w, true
+}
+
+// put records a refutation computed against generation gen. A verdict that
+// raced a mutation — its generation is no longer current — is dropped
+// rather than stored stale: its witness was never checked against the ODs
+// the mutation added.
+func (n *negSet) put(key string, od core.OD, w *core.Pattern, gen uint64) {
+	if w == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if gen != n.gen {
+		return
+	}
+	if _, ok := n.m[key]; !ok && len(n.m) >= n.cap {
+		// Evict one arbitrary resident; fairness does not matter for a
+		// cache whose entries are all equally cheap to rebuild on demand.
+		for k := range n.m {
+			delete(n.m, k)
+			break
+		}
+	}
+	n.m[key] = negEntry{od: od, w: w}
+}
+
+// advance moves the set to a new generation after a mutation whose net
+// additions are added. Entries whose witness satisfies every added OD are
+// still-valid counterexamples against the grown constraint set and stay;
+// the rest are dropped. Callers pass nil added for pure removals, which
+// invalidate nothing — that path is a constant-time bump, paid under the
+// catalog's exclusive lock.
+func (n *negSet) advance(gen uint64, added []core.OD) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gen = gen
+	if len(added) == 0 {
+		return
+	}
+	for k, e := range n.m {
+		for _, od := range added {
+			if !e.w.HoldsOD(od) {
+				delete(n.m, k)
+				break
+			}
+		}
+	}
+}
+
+// size returns the resident entry count.
+func (n *negSet) size() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.m)
+}

@@ -16,20 +16,28 @@
 // (shown in the authors' follow-on work), so an exponent in n is expected.
 // Two reductions keep n small in practice: a pattern and its negation
 // satisfy the same ODs, so the search fixes the first non-equal sign to
-// "<", halving the space; and the search runs against a demand-driven
-// subset of M — only ODs that actually reject a candidate counterexample
-// are drawn in (see decide) — so n tracks the question, not the size of
-// the prescribed set.
+// "<", halving the space; and the search runs against a lazily widened
+// working subset of M — it starts from the question's own attributes alone
+// and draws in an OD only when a candidate counterexample actually needs it
+// (see decide) — so n tracks the question, not the size of the prescribed
+// set, and cascades of entangled constraints cannot inflate the universe
+// past what the answer requires.
 //
 // Second, by Theorem 15 an OD can only fail via a split (an FD violation) or
 // a swap. The split half reduces to Armstrong closure over the FDs implied
 // by M (Lemma 1, Theorem 13), which the prover checks first in polynomial
 // time; when it fails, the familiar two-row Ullman table is returned as the
 // counterexample without any search.
+//
+// Searches accept a context.Context and may be cancelled mid-enumeration;
+// with WithWorkers the sign-enumeration tree is split across a goroutine
+// pool that aborts wholesale on the first counterexample found.
 package prover
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"odlib/internal/core"
 	"odlib/internal/fd"
@@ -37,7 +45,10 @@ import (
 
 // DefaultMaxAttrs bounds the number of distinct attributes a single
 // implication question may mention. 3^14 patterns check in well under a
-// second; raise the bound explicitly via WithMaxAttrs if needed.
+// second; raise the bound explicitly via WithMaxAttrs if needed. Since the
+// working set widens lazily, the bound is measured against the attributes a
+// question actually needs, not against every constraint that shares an
+// attribute with it.
 const DefaultMaxAttrs = 14
 
 // Verdict is a decided implication answer M ⊨ X ↦ Y: either implied, or
@@ -73,6 +84,42 @@ type mapCache map[string]Verdict
 func (c mapCache) Get(key string) (Verdict, bool) { v, ok := c[key]; return v, ok }
 func (c mapCache) Put(key string, v Verdict)      { c[key] = v }
 
+// Counters aggregates search effort across decides. A single Counters value
+// can be shared by many provers (internal/catalog threads one through every
+// per-generation prover it builds), so observers see cumulative work survive
+// catalog mutations. All fields are atomic; the zero value is ready to use.
+type Counters struct {
+	// Nodes counts sign-enumeration tree nodes visited plus widening
+	// validations — the unit the cancellation tests watch to assert an
+	// aborted search stopped burning work.
+	Nodes atomic.Uint64
+	// Searches counts decide calls that reached the search machinery
+	// (i.e. were not answered by a cache in front of the prover).
+	Searches atomic.Uint64
+	// Cancelled counts decides aborted by context cancellation or deadline.
+	Cancelled atomic.Uint64
+	// Widenings counts working-set widening rounds across all decides.
+	Widenings atomic.Uint64
+}
+
+// CounterStats is a plain point-in-time copy of Counters, JSON-ready.
+type CounterStats struct {
+	Nodes     uint64 `json:"nodes"`
+	Searches  uint64 `json:"searches"`
+	Cancelled uint64 `json:"cancelled"`
+	Widenings uint64 `json:"widenings"`
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() CounterStats {
+	return CounterStats{
+		Nodes:     c.Nodes.Load(),
+		Searches:  c.Searches.Load(),
+		Cancelled: c.Cancelled.Load(),
+		Widenings: c.Widenings.Load(),
+	}
+}
+
 // Prover answers implication questions against a fixed OD set M.
 //
 // Deciding is a pure function of the (immutable) OD set; the only mutable
@@ -84,7 +131,9 @@ type Prover struct {
 	fds      []fd.FD
 	universe core.List
 	maxAttrs int
+	workers  int
 	cache    VerdictCache
+	counters *Counters
 }
 
 // Option configures a Prover.
@@ -105,6 +154,30 @@ func WithCache(c VerdictCache) Option {
 	}
 }
 
+// WithWorkers sets the goroutine count for the parallel pattern search.
+// n <= 1 keeps the search sequential (the default); larger n splits the
+// sign-enumeration tree into contiguous prefix blocks, one goroutine per
+// block, cancelling the whole pool on the first counterexample. Small
+// questions run sequentially regardless — forking goroutines for a few
+// thousand nodes costs more than it saves.
+func WithWorkers(n int) Option {
+	return func(p *Prover) {
+		if n > maxWorkers {
+			n = maxWorkers
+		}
+		if n < 1 {
+			n = 1
+		}
+		p.workers = n
+	}
+}
+
+// WithCounters installs a shared effort-counter sink. Passing nil keeps
+// counting disabled.
+func WithCounters(c *Counters) Option {
+	return func(p *Prover) { p.counters = c }
+}
+
 // New creates a prover for the OD set M.
 func New(m []core.OD, opts ...Option) *Prover {
 	ods := make([]core.OD, len(m))
@@ -114,6 +187,7 @@ func New(m []core.OD, opts ...Option) *Prover {
 		fds:      fd.FromODs(ods),
 		universe: core.AttrsOf(ods).Sorted(),
 		maxAttrs: DefaultMaxAttrs,
+		workers:  1,
 		cache:    make(mapCache),
 	}
 	for _, o := range opts {
@@ -128,20 +202,35 @@ func (p *Prover) ODs() []core.OD { return p.ods }
 // Universe returns the attributes mentioned by M, sorted.
 func (p *Prover) Universe() core.List { return p.universe }
 
+// Workers returns the configured search parallelism.
+func (p *Prover) Workers() int { return p.workers }
+
 // Implies reports whether M ⊨ od.
 func (p *Prover) Implies(od core.OD) (bool, error) {
-	ok, _, err := p.ImpliesWitness(od)
+	return p.ImpliesCtx(context.Background(), od)
+}
+
+// ImpliesCtx is Implies honoring cancellation: when ctx is cancelled the
+// search aborts and the context's error is returned.
+func (p *Prover) ImpliesCtx(ctx context.Context, od core.OD) (bool, error) {
+	ok, _, err := p.ImpliesWitnessCtx(ctx, od)
 	return ok, err
 }
 
 // ImpliesWitness reports whether M ⊨ od; when it does not, it also returns a
 // two-row counterexample pattern that satisfies M and falsifies od.
 func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
+	return p.ImpliesWitnessCtx(context.Background(), od)
+}
+
+// ImpliesWitnessCtx is ImpliesWitness honoring cancellation. Cache hits
+// answer without consulting the context; cancelled searches are never cached.
+func (p *Prover) ImpliesWitnessCtx(ctx context.Context, od core.OD) (bool, *core.Pattern, error) {
 	key := od.Key()
 	if v, ok := p.cache.Get(key); ok {
 		return v.Implied, v.Witness, nil
 	}
-	v, err := p.decide(od)
+	v, err := p.decide(ctx, od)
 	if err != nil {
 		return false, nil, err
 	}
@@ -149,11 +238,20 @@ func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 	return v.Implied, v.Witness, nil
 }
 
-// decide answers M ⊨ od by demand-driven restriction: it reasons over a
-// working subset W ⊆ M and grows W only when forced. The loop invariant
-// that makes this exact rests on how patterns extend — an attribute outside
-// a pattern's universe reads as Equal, and an OD none of whose attributes
-// carry a non-Equal sign is satisfied. So:
+// DecideCtx answers M ⊨ od without consulting or filling the verdict cache;
+// the caller owns memoization. internal/catalog uses it so its tier chain —
+// closure membership, negative closure, memo — accounts each layer exactly
+// once and stores the verdict itself.
+func (p *Prover) DecideCtx(ctx context.Context, od core.OD) (Verdict, error) {
+	return p.decide(ctx, od)
+}
+
+// decide answers M ⊨ od by lazily widened restriction: it reasons over a
+// working subset W ⊆ M — initially empty, so the first search universe is
+// exactly the question's own attributes — and grows W only when forced. The
+// loop invariant that makes this exact rests on how patterns extend: an
+// attribute outside a pattern's universe reads as Equal, and an OD none of
+// whose attributes carry a non-Equal sign is satisfied. So:
 //
 //   - "no counterexample against W" is conclusive: W ⊨ od implies M ⊨ od,
 //     since M ⊇ W only adds premises;
@@ -162,33 +260,36 @@ func (p *Prover) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 //     M \ W rejects it, that OD joins W and the search repeats.
 //
 // Each round either returns or strictly grows W, so the loop terminates
-// within |M| rounds; in practice W stays near the ODs entangled with the
-// question, which keeps both the 3^n search and the attribute-count guard
-// proportional to the question rather than to the whole prescribed set —
-// essential for the long-lived catalog, where one prover serves a schema's
-// worth of constraints and most questions mention a handful of attributes.
+// within |M| rounds; W converges to the ODs the question actually entangles,
+// which keeps both the 3^n search and the attribute-count guard proportional
+// to the answer rather than to the whole prescribed set. Eager seeding (every
+// OD sharing an attribute with the question) was the previous policy; it
+// dragged entire constraint cascades — hub attributes touching dozens of
+// ODs — into the universe and tripped the guard on questions whose answer
+// needed two attributes.
 //
 // The returned Verdict's Cost counts the work done — search nodes plus
 // candidate validations — per entangled attribute, for cache eviction policy.
-func (p *Prover) decide(od core.OD) (Verdict, error) {
+func (p *Prover) decide(ctx context.Context, od core.OD) (Verdict, error) {
+	if p.counters != nil {
+		p.counters.Searches.Add(1)
+	}
 	// explored counts search-tree nodes and widen validations; the final
-	// verdict records it normalized by the attribute count.
+	// verdict records it normalized by the attribute count, and the shared
+	// counters receive it on every exit path.
 	var explored uint64
+	defer func() {
+		if p.counters != nil {
+			p.counters.Nodes.Add(explored)
+		}
+	}()
 	verdict := func(implied bool, w *core.Pattern, attrs int) Verdict {
 		cost := explored / uint64(max(1, attrs))
 		return Verdict{Implied: implied, Witness: w, Cost: max(cost, 1)}
 	}
 
-	// Seed with the ODs sharing an attribute with the question.
-	working := make([]core.OD, 0, len(p.ods))
+	working := make([]core.OD, 0, 4)
 	inWorking := make([]bool, len(p.ods))
-	seed := od.Attrs()
-	for i, m := range p.ods {
-		if touches(m, seed) {
-			inWorking[i] = true
-			working = append(working, m)
-		}
-	}
 
 	// The split-half test (Theorem 15) is loop-invariant: the FD closure
 	// depends only on the question and M's FDs, not on the working set.
@@ -196,6 +297,12 @@ func (p *Prover) decide(od core.OD) (Verdict, error) {
 	splitRefuted := !od.RHS.Set().SubsetOf(closure)
 
 	for {
+		if err := ctx.Err(); err != nil {
+			if p.counters != nil {
+				p.counters.Cancelled.Add(1)
+			}
+			return Verdict{}, err
+		}
 		attrs := core.AttrsOf(working).Union(od.Attrs()).Sorted()
 		if len(attrs) > p.maxAttrs {
 			return Verdict{}, fmt.Errorf(
@@ -212,6 +319,9 @@ func (p *Prover) decide(od core.OD) (Verdict, error) {
 				if !inWorking[i] && !w.HoldsOD(m) {
 					inWorking[i] = true
 					working = append(working, m)
+					if p.counters != nil {
+						p.counters.Widenings.Add(1)
+					}
 					return true
 				}
 			}
@@ -240,20 +350,28 @@ func (p *Prover) decide(od core.OD) (Verdict, error) {
 		}
 
 		// Swap half: exhaustive two-row pattern search against the working
-		// set.
+		// set — parallel across prefix-sharded subtrees when configured.
 		pat := core.MustPattern(attrs)
 		cods := make([]compiledOD, 0, len(working)+1)
 		for _, m := range working {
 			cods = append(cods, compileOD(m, pat))
 		}
 		target := compileOD(od, pat)
-		if !p.search(pat.Signs(), 0, false, cods, target, &explored) {
+		found, nodes, err := p.runSearch(ctx, pat, cods, target)
+		explored += nodes
+		if err != nil {
+			if p.counters != nil {
+				p.counters.Cancelled.Add(1)
+			}
+			return Verdict{}, err
+		}
+		if found == nil {
 			return verdict(true, nil, len(attrs)), nil
 		}
-		if widen(pat) {
+		if widen(found) {
 			continue
 		}
-		return verdict(false, p.expandWitness(pat, od), len(attrs)), nil
+		return verdict(false, p.expandWitness(found, od), len(attrs)), nil
 	}
 }
 
@@ -277,99 +395,15 @@ func (p *Prover) expandWitness(w *core.Pattern, od core.OD) *core.Pattern {
 	return out
 }
 
-// touches reports whether the OD mentions any attribute of s. An OD
-// mentioning none — including a constant declaration [] ↦ Y with Y outside
-// s — holds on any pattern that ties all its attributes, so it cannot
-// reject an Equal-extension of a candidate counterexample by itself.
-func touches(od core.OD, s core.AttrSet) bool {
-	for _, a := range od.LHS {
-		if s.Contains(a) {
-			return true
-		}
-	}
-	for _, a := range od.RHS {
-		if s.Contains(a) {
-			return true
-		}
-	}
-	return false
-}
-
-// search enumerates sign assignments depth-first over signs[k:]. seenLess
-// records whether a non-Equal sign has been placed yet; the first one is
-// fixed to Less, exploiting negation invariance. It returns true when the
-// current assignment (completed in signs) satisfies every OD in m while
-// falsifying the target. nodes counts visited tree nodes for verdict costing.
-func (p *Prover) search(signs []core.Sign, k int, seenLess bool, m []compiledOD, target compiledOD, nodes *uint64) bool {
-	*nodes++
-	if k == len(signs) {
-		if target.holds(signs) {
-			return false
-		}
-		for _, c := range m {
-			if !c.holds(signs) {
-				return false
-			}
-		}
-		return true
-	}
-	signs[k] = core.Equal
-	if p.search(signs, k+1, seenLess, m, target, nodes) {
-		return true
-	}
-	signs[k] = core.Less
-	if p.search(signs, k+1, true, m, target, nodes) {
-		return true
-	}
-	if seenLess {
-		signs[k] = core.Greater
-		if p.search(signs, k+1, true, m, target, nodes) {
-			return true
-		}
-	}
-	signs[k] = core.Equal
-	return false
-}
-
-// compiledOD holds an OD with both sides resolved to sign-array indexes, so
-// the inner search loop runs on plain slices.
-type compiledOD struct {
-	lhs, rhs []int
-}
-
-func compileOD(od core.OD, pat *core.Pattern) compiledOD {
-	idx := func(l core.List) []int {
-		out := make([]int, 0, len(l))
-		for _, a := range l {
-			out = append(out, pat.Universe().Index(a))
-		}
-		return out
-	}
-	return compiledOD{lhs: idx(od.LHS), rhs: idx(od.RHS)}
-}
-
-func cmpSigns(signs []core.Sign, idx []int) core.Sign {
-	for _, i := range idx {
-		if s := signs[i]; s != core.Equal {
-			return s
-		}
-	}
-	return core.Equal
-}
-
-func (c compiledOD) holds(signs []core.Sign) bool {
-	cx := cmpSigns(signs, c.lhs)
-	cy := cmpSigns(signs, c.rhs)
-	if cx == core.Equal {
-		return cy == core.Equal
-	}
-	return cy == core.Equal || cy == cx
-}
-
 // ImpliesAll reports whether M implies every OD of the slice.
 func (p *Prover) ImpliesAll(ods []core.OD) (bool, error) {
+	return p.ImpliesAllCtx(context.Background(), ods)
+}
+
+// ImpliesAllCtx is ImpliesAll honoring cancellation.
+func (p *Prover) ImpliesAllCtx(ctx context.Context, ods []core.OD) (bool, error) {
 	for _, od := range ods {
-		ok, err := p.Implies(od)
+		ok, err := p.ImpliesCtx(ctx, od)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -416,4 +450,39 @@ func (p *Prover) EquivalentSets(other []core.OD) (bool, error) {
 	}
 	q := New(other, WithMaxAttrs(p.maxAttrs))
 	return q.ImpliesAll(p.ods)
+}
+
+// compiledOD holds an OD with both sides resolved to sign-array indexes, so
+// the inner search loop runs on plain slices.
+type compiledOD struct {
+	lhs, rhs []int
+}
+
+func compileOD(od core.OD, pat *core.Pattern) compiledOD {
+	idx := func(l core.List) []int {
+		out := make([]int, 0, len(l))
+		for _, a := range l {
+			out = append(out, pat.Universe().Index(a))
+		}
+		return out
+	}
+	return compiledOD{lhs: idx(od.LHS), rhs: idx(od.RHS)}
+}
+
+func cmpSigns(signs []core.Sign, idx []int) core.Sign {
+	for _, i := range idx {
+		if s := signs[i]; s != core.Equal {
+			return s
+		}
+	}
+	return core.Equal
+}
+
+func (c compiledOD) holds(signs []core.Sign) bool {
+	cx := cmpSigns(signs, c.lhs)
+	cy := cmpSigns(signs, c.rhs)
+	if cx == core.Equal {
+		return cy == core.Equal
+	}
+	return cy == core.Equal || cy == cx
 }

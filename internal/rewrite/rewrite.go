@@ -21,6 +21,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 
 	"odlib/internal/core"
@@ -71,12 +72,13 @@ func (c *Constraints) Prover() *prover.Prover {
 	return c.prov
 }
 
-// ordersBy reports whether the declared ODs imply X ↦ Y.
-func (c *Constraints) ordersBy(x, y core.List) (bool, error) {
+// ordersBy reports whether the declared ODs imply X ↦ Y. Cancelling ctx
+// aborts the underlying implication search.
+func (c *Constraints) ordersBy(ctx context.Context, x, y core.List) (bool, error) {
 	if len(c.ODs) == 0 {
 		return core.NewOD(x, y).Trivial(), nil
 	}
-	return c.Prover().Implies(core.NewOD(x, y))
+	return c.Prover().ImpliesCtx(ctx, core.NewOD(x, y))
 }
 
 // Step records one segment elimination performed by a reduction, with the
@@ -118,6 +120,12 @@ func ReduceOrderFD(order core.List, c *Constraints) Result {
 // list immediately to its right orders it (Theorem 8). The sweep repeats
 // until the list is stable.
 func ReduceOrder(order core.List, c *Constraints) (Result, error) {
+	return ReduceOrderCtx(context.Background(), order, c)
+}
+
+// ReduceOrderCtx is ReduceOrder honoring cancellation: the implication
+// searches behind the OD step abort when ctx dies, surfacing its error.
+func ReduceOrderCtx(ctx context.Context, order core.List, c *Constraints) (Result, error) {
 	res := Result{Input: order, Reduced: order.Normalize()}
 	for changed := true; changed; {
 		changed = false
@@ -140,7 +148,7 @@ func ReduceOrder(order core.List, c *Constraints) (Result, error) {
 				rest := res.Reduced.Suffix(i + l)
 				for j := 1; j <= len(rest); j++ {
 					post := rest.Prefix(j)
-					ok, err := c.ordersBy(post, seg)
+					ok, err := c.ordersBy(ctx, post, seg)
 					if err != nil {
 						return res, err
 					}
@@ -171,7 +179,7 @@ func Equivalent(a, b core.List, c *Constraints) (bool, error) {
 // allowed (have may order more), weakening is not — the asymmetry the paper
 // stresses for directional ODs.
 func Covers(have, want core.List, c *Constraints) (bool, error) {
-	return c.ordersBy(have, want)
+	return c.ordersBy(context.Background(), have, want)
 }
 
 // ReduceGroupBy minimizes a GROUP BY attribute set using FDs: an attribute

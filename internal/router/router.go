@@ -14,22 +14,27 @@
 // independently. Requests that name no shard and requests for listings and
 // stats fan out across shards and merge.
 //
-// Mutations on a shard are serialized by the shard's own mutex so that WAL
-// append order equals catalog apply order — the invariant replay depends on
-// — but the durability wait (group commit) happens after the mutex is
-// released, so concurrent writers on one shard still share fsyncs. Reads
-// never take shard mutexes at all; they ride the catalog's snapshot path.
+// Mutations are staged (WAL append) under the shard's mutex so WAL order is
+// deterministic, but the catalog is only touched after the group commit
+// succeeds: each staged record holds an apply ticket (its WAL sequence
+// number), and durable mutations apply strictly in ticket order, so
+// in-memory apply order equals WAL order — the invariant replay depends on.
+// The durability wait itself happens with no lock held, so concurrent
+// writers on one shard still share fsyncs.
 //
-// Visibility contract: a mutation is ACKNOWLEDGED to its caller only once
-// durable, but concurrent readers may observe it in the window between the
-// in-memory apply and the group commit — read-uncommitted, in transaction
-// terms. If the commit fails, the mutation is rolled back (see rollback)
-// and the constraint a racing reader briefly saw disappears along with
-// every verdict memoized against its generation. Publishing reads only
-// after commit (snapshot-after-durability) is queued in the ROADMAP.
+// Visibility contract: a mutation is published to readers only once durable
+// — read committed. A reader can never observe a constraint whose commit
+// later fails; the old read-uncommitted window (apply first, roll back on
+// commit failure) is gone, and with it the rollback machinery. Reads never
+// take shard mutexes at all; they ride the catalog's snapshot path.
+//
+// Prove traffic accepts a context.Context and threads it into the
+// catalog's tier chain, so an HTTP client disconnect or prove deadline
+// aborts the in-flight pattern search.
 package router
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -80,10 +85,18 @@ type Shard struct {
 	cat  *catalog.Catalog
 	st   *store.Store // nil when the router is ephemeral
 
-	// mu serializes mutations so WAL order equals catalog apply order.
-	// Held across append-stage + apply (+ snapshot), not across the
-	// group-commit wait.
+	// mu serializes WAL staging so sequence numbers are handed out in a
+	// deterministic order; it is held only across the append, never across
+	// the group-commit wait or the catalog apply.
 	mu sync.Mutex
+
+	// applyMu + applyCond order post-commit catalog applies by WAL sequence
+	// number: nextApply is the ticket of the next record allowed to touch
+	// the catalog. Records whose commit failed release their ticket without
+	// applying (skipApply), so a dead WAL cannot wedge the queue.
+	applyMu   sync.Mutex
+	applyCond *sync.Cond
+	nextApply uint64
 }
 
 // Router is the sharded catalog front door.
@@ -178,6 +191,7 @@ func (r *Router) openShard(name string) (*Shard, error) {
 		return sh, nil
 	}
 	sh := &Shard{name: name, cat: catalog.New(r.opt.Catalog...)}
+	sh.applyCond = sync.NewCond(&sh.applyMu)
 	if r.opt.DataDir != "" {
 		dir := name
 		if dir == DefaultShard {
@@ -207,6 +221,7 @@ func (r *Router) openShard(name string) (*Shard, error) {
 			sh.cat.Apply(muts)
 		}
 		sh.st = st
+		sh.nextApply = st.Seq() + 1
 	}
 	r.shards[name] = sh
 	return sh, nil
@@ -298,10 +313,10 @@ type MutationResult struct {
 	Stats   catalog.Stats
 }
 
-// Declare declares ODs on the schema's shard: WAL append (staged), catalog
-// apply, optional due snapshot — then the durability wait, after the shard
-// mutex is released so concurrent writers share the group commit. The
-// mutation is only acknowledged (returned without error) once durable.
+// Declare declares ODs on the schema's shard: WAL append (staged under the
+// shard mutex), then the durability wait with no lock held, then — only
+// once durable — the catalog apply, in WAL order. The mutation is
+// acknowledged and becomes visible to readers together, after the commit.
 func (r *Router) Declare(schema string, ods []core.OD) (MutationResult, error) {
 	return r.mutate(schema, store.OpDeclare, ods)
 }
@@ -321,80 +336,98 @@ func (r *Router) mutate(schema string, op store.Op, ods []core.OD) (MutationResu
 	if err != nil {
 		return MutationResult{}, err
 	}
-	res, pending, rollback, err := sh.apply(op, ods)
+	var declares, removes []core.OD
+	if op == store.OpRemove {
+		removes = ods
+	} else {
+		declares = ods
+	}
+	staged, res, err := sh.stage(declares, removes)
+	if err != nil || staged == nil {
+		return res, err
+	}
+	return staged.wait()
+}
+
+// stagedMutation is one WAL-appended, not-yet-applied mutation batch: the
+// ticket (seq) fixing its apply order plus the durability handle to wait on.
+type stagedMutation struct {
+	sh   *Shard
+	muts []catalog.Mutation
+
+	pending *store.Pending
+	seq     uint64
+	due     bool // automatic snapshot threshold crossed at staging time
+}
+
+// stage appends the batch to the shard's WAL under the shard mutex without
+// touching the catalog, and returns the staged handle. On an ephemeral
+// shard there is no WAL and nothing to wait for: the batch applies
+// immediately and the final MutationResult is returned instead.
+func (sh *Shard) stage(declares, removes []core.OD) (*stagedMutation, MutationResult, error) {
+	var muts []catalog.Mutation
+	if len(declares) > 0 {
+		muts = append(muts, catalog.Mutation{ODs: declares})
+	}
+	if len(removes) > 0 {
+		muts = append(muts, catalog.Mutation{Remove: true, ODs: removes})
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.st == nil {
+		added, removed, st := sh.cat.Apply(muts)
+		return nil, MutationResult{Schema: sh.name, Added: added, Removed: removed, Stats: st}, nil
+	}
+	pending, seq, due, err := sh.st.AppendBatch(declares, removes)
 	if err != nil {
-		return MutationResult{}, err
+		return nil, MutationResult{}, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
 	}
-	if err := pending.Wait(); err != nil {
-		sh.rollback(rollback)
-		return MutationResult{}, fmt.Errorf("router: shard %q mutation not durable: %w", key, err)
-	}
-	return res, nil
+	return &stagedMutation{sh: sh, muts: muts, pending: pending, seq: seq, due: due}, MutationResult{}, nil
 }
 
-// rollback undoes a batch whose WAL commit failed, so the in-memory catalog
-// does not keep serving constraints the client was told were rejected. The
-// WAL error is sticky — every mutation staged after the failure errors out
-// before touching the catalog — so by the time the doomed batch's waiters
-// run their inverses, the declared set differs from the durable state only
-// by that batch. Waiters of one batch roll back concurrently; their net
-// inverses are disjoint except when two of them declared and removed the
-// same OD inside the doomed batch, a corner where one constraint can stay
-// memory-resident on a shard that is already mutation-dead and flagged via
-// the store's WALError on /healthz.
-func (sh *Shard) rollback(muts []catalog.Mutation) {
-	if len(muts) == 0 {
-		return
+// wait blocks until the staged batch is durable, then applies it to the
+// catalog in WAL order — claiming its ticket — and publishes the result.
+// When the commit failed the ticket is released unapplied: the catalog
+// never saw the batch, readers never saw the constraints, and the caller
+// gets the durability error. Nothing to roll back.
+func (m *stagedMutation) wait() (MutationResult, error) {
+	sh := m.sh
+	if err := m.pending.Wait(); err != nil {
+		sh.skipApply(m.seq)
+		return MutationResult{}, fmt.Errorf("router: shard %q mutation not durable: %w", sh.name, err)
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.cat.Apply(muts)
+	sh.applyMu.Lock()
+	defer sh.applyMu.Unlock()
+	for sh.nextApply != m.seq {
+		sh.applyCond.Wait()
+	}
+	added, removed, st := sh.cat.Apply(m.muts)
+	if m.due {
+		// Inline snapshot while holding the apply ticket: the declared list
+		// is exactly the durable state at seq. The store refuses with
+		// ErrStale when a later record is already staged — that record's
+		// own due snapshot will cover this one — and remembers real
+		// failures in its stats; the mutation's fate is unaffected either
+		// way, the WAL keeps everything a snapshot failure fails to compact.
+		_ = sh.st.Snapshot(m.seq, sh.cat.Declared())
+	}
+	sh.nextApply = m.seq + 1
+	sh.applyCond.Broadcast()
+	return MutationResult{Schema: sh.name, Added: added, Removed: removed, Seq: m.seq, Stats: st}, nil
 }
 
-// apply runs the under-lock half of a mutation and returns the durability
-// handle to wait on lock-free, plus the inverse mutations to apply should
-// the commit fail. A nil *store.Pending Waits instantly, which covers the
-// ephemeral case.
-func (sh *Shard) apply(op store.Op, ods []core.OD) (MutationResult, *store.Pending, []catalog.Mutation, error) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	var pending *store.Pending
-	var seq uint64
-	snapshotDue := false
-	if sh.st != nil {
-		var err error
-		pending, seq, snapshotDue, err = sh.st.Append(op, ods)
-		if err != nil {
-			return MutationResult{}, nil, nil, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
-		}
+// skipApply releases the ticket of a record whose commit failed, so later
+// durable records do not wait forever on a batch that will never apply.
+func (sh *Shard) skipApply(seq uint64) {
+	sh.applyMu.Lock()
+	defer sh.applyMu.Unlock()
+	for sh.nextApply < seq {
+		sh.applyCond.Wait()
 	}
-	added, removed, netAdded, netRemoved, st := sh.cat.ApplyEffective(
-		[]catalog.Mutation{{Remove: op == store.OpRemove, ODs: ods}})
-	if snapshotDue {
-		// Inline snapshot under the shard mutex: writers on this shard
-		// stall for one snapshot write, readers never notice. The declared
-		// list is exactly the state at seq because mutations serialize here.
-		// A snapshot failure does NOT fail the mutation — the WAL keeps the
-		// records, recovery replays them, and the store remembers the error
-		// in its stats. The mutation's own fate rests solely on the WAL
-		// commit the caller is about to Wait on.
-		_ = sh.st.Snapshot(seq, sh.cat.Declared())
+	if sh.nextApply == seq {
+		sh.nextApply = seq + 1
+		sh.applyCond.Broadcast()
 	}
-	return MutationResult{
-		Schema: sh.name, Added: added, Removed: removed, Seq: seq, Stats: st,
-	}, pending, inverseOf(netAdded, netRemoved), nil
-}
-
-// inverseOf builds the mutations that undo a net effect.
-func inverseOf(netAdded, netRemoved []core.OD) []catalog.Mutation {
-	var inv []catalog.Mutation
-	if len(netAdded) > 0 {
-		inv = append(inv, catalog.Mutation{Remove: true, ODs: netAdded})
-	}
-	if len(netRemoved) > 0 {
-		inv = append(inv, catalog.Mutation{ODs: netRemoved})
-	}
-	return inv
 }
 
 // BatchOp is one schema-addressed step of a batch mutation.
@@ -405,9 +438,13 @@ type BatchOp struct {
 }
 
 // ApplyBatch groups the steps by resolved shard and applies each shard's
-// steps as ONE WAL record per op kind and one catalog.Apply — a single lock
-// acquisition and a single group commit per shard regardless of how many
-// statements the batch carries. Results are per shard, keyed by shard name.
+// steps as ONE WAL record per op kind and one catalog.Apply — a single
+// staging and a single group commit per shard regardless of how many
+// statements the batch carries. All shards stage before any durability wait,
+// so cross-shard batches overlap their fsyncs instead of serializing them.
+// A shard whose commit failed never applies; shards that committed publish —
+// cross-shard batches are not atomic, each shard is. Results are per shard,
+// keyed by shard name.
 func (r *Router) ApplyBatch(ops []BatchOp) (map[string]MutationResult, error) {
 	type bucket struct {
 		declares []core.OD
@@ -434,13 +471,7 @@ func (r *Router) ApplyBatch(ops []BatchOp) (map[string]MutationResult, error) {
 	}
 
 	out := make(map[string]MutationResult, len(buckets))
-	type waiter struct {
-		schema   string
-		sh       *Shard
-		pending  *store.Pending
-		rollback []catalog.Mutation
-	}
-	var waiters []waiter
+	var staged []*stagedMutation
 	var firstErr error
 	for _, schema := range order {
 		b := buckets[schema]
@@ -449,28 +480,28 @@ func (r *Router) ApplyBatch(ops []BatchOp) (map[string]MutationResult, error) {
 			firstErr = err
 			break
 		}
-		res, pending, rollback, err := sh.applyBatch(b.declares, b.removes)
+		sm, res, err := sh.stage(b.declares, b.removes)
 		if err != nil {
 			firstErr = err
 			break
 		}
-		out[schema] = res
-		waiters = append(waiters, waiter{schema, sh, pending, rollback})
-	}
-	// Wait for every shard's group commit after all shards have applied, so
-	// cross-shard batches overlap their fsyncs instead of serializing them.
-	// This drain runs even when a later shard failed mid-loop — every shard
-	// that applied must either become durable or be rolled back before the
-	// request returns. A shard whose commit failed is rolled back; shards
-	// that committed stay — cross-shard batches are not atomic, each shard
-	// is.
-	for _, w := range waiters {
-		if err := w.pending.Wait(); err != nil {
-			w.sh.rollback(w.rollback)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("router: shard %q batch not durable: %w", w.schema, err)
-			}
+		if sm == nil {
+			out[schema] = res // ephemeral shard, already applied
+			continue
 		}
+		staged = append(staged, sm)
+	}
+	// Drain every staged shard even when a later one failed mid-loop: each
+	// must either commit and publish, or release its ticket unapplied.
+	for _, sm := range staged {
+		res, err := sm.wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[sm.sh.name] = res
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -478,47 +509,14 @@ func (r *Router) ApplyBatch(ops []BatchOp) (map[string]MutationResult, error) {
 	return out, nil
 }
 
-// applyBatch is apply for a declare-set plus remove-set pair. Declares land
-// before removes, matching the documented batch semantics; both travel in
-// one WAL record so the pair is atomic on disk.
-func (sh *Shard) applyBatch(declares, removes []core.OD) (MutationResult, *store.Pending, []catalog.Mutation, error) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	var pending *store.Pending
-	var seq uint64
-	snapshotDue := false
-	if sh.st != nil {
-		var err error
-		pending, seq, snapshotDue, err = sh.st.AppendBatch(declares, removes)
-		if err != nil {
-			return MutationResult{}, nil, nil, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
-		}
-	}
-	var muts []catalog.Mutation
-	if len(declares) > 0 {
-		muts = append(muts, catalog.Mutation{ODs: declares})
-	}
-	if len(removes) > 0 {
-		muts = append(muts, catalog.Mutation{Remove: true, ODs: removes})
-	}
-	added, removed, netAdded, netRemoved, st := sh.cat.ApplyEffective(muts)
-	if snapshotDue {
-		// Non-fatal, as in apply: the WAL retains everything the snapshot
-		// failed to compact.
-		_ = sh.st.Snapshot(seq, sh.cat.Declared())
-	}
-	return MutationResult{
-		Schema: sh.name, Added: added, Removed: removed, Seq: seq, Stats: st,
-	}, pending, inverseOf(netAdded, netRemoved), nil
-}
-
-// ProveOne decides one statement (a conjunction of ODs) against its shard.
-func (r *Router) ProveOne(schema string, ods []core.OD) (catalog.ProveResult, uint64, string, error) {
+// ProveOne decides one statement (a conjunction of ODs) against its shard,
+// honoring ctx cancellation.
+func (r *Router) ProveOne(ctx context.Context, schema string, ods []core.OD) (catalog.ProveResult, uint64, string, error) {
 	key, err := r.SchemaFor(schema, ods)
 	if err != nil {
 		return catalog.ProveResult{}, 0, "", err
 	}
-	res, gen := r.readCatalog(key).ProveEach([][]core.OD{ods})
+	res, gen := r.readCatalog(key).ProveEachCtx(ctx, [][]core.OD{ods})
 	return res[0], gen, key, nil
 }
 
@@ -532,8 +530,9 @@ type BatchVerdict struct {
 // ProveBatch decides many statements, grouping them by shard so each shard
 // is snapshotted once: statements on the same shard are answered against one
 // constraint generation, and shards are consulted independently. Order of
-// verdicts matches order of statements.
-func (r *Router) ProveBatch(schema string, stmts [][]core.OD) ([]BatchVerdict, error) {
+// verdicts matches order of statements. Cancelling ctx aborts the in-flight
+// search and fails the remaining statements with the context's error.
+func (r *Router) ProveBatch(ctx context.Context, schema string, stmts [][]core.OD) ([]BatchVerdict, error) {
 	type group struct {
 		idx []int
 		qs  [][]core.OD
@@ -557,7 +556,7 @@ func (r *Router) ProveBatch(schema string, stmts [][]core.OD) ([]BatchVerdict, e
 	out := make([]BatchVerdict, len(stmts))
 	for _, key := range order {
 		g := groups[key]
-		res, gen := r.readCatalog(key).ProveEach(g.qs)
+		res, gen := r.readCatalog(key).ProveEachCtx(ctx, g.qs)
 		for j, i := range g.idx {
 			out[i] = BatchVerdict{Schema: key, Generation: gen, Result: res[j]}
 		}
@@ -653,19 +652,37 @@ func (r *Router) snapshotNames(names []string) (map[string]SnapshotResult, error
 		if sh == nil || sh.st == nil {
 			continue
 		}
-		// seq and declared are captured under the shard mutex so the
-		// reported pair describes exactly the state the snapshot holds.
-		sh.mu.Lock()
-		declared := sh.cat.Declared()
-		seq := sh.st.Seq()
-		err := sh.st.Snapshot(seq, declared)
-		sh.mu.Unlock()
+		res, err := sh.snapshotNow()
 		if err != nil {
 			return nil, fmt.Errorf("router: snapshot of shard %q: %w", name, err)
 		}
-		out[name] = SnapshotResult{Seq: int(seq), Declared: len(declared)}
+		out[name] = res
 	}
 	return out, nil
+}
+
+// snapshotNow snapshots the shard's durable-applied state. It waits for
+// every record staged so far to apply (or be skipped), then snapshots at
+// the applied watermark; under a steady stream of concurrent writes the
+// watermark keeps moving — the store refuses stale seqs — so it retries a
+// few times before reporting the contention.
+func (sh *Shard) snapshotNow() (SnapshotResult, error) {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		staged := sh.st.Seq()
+		sh.applyMu.Lock()
+		for sh.nextApply <= staged {
+			sh.applyCond.Wait()
+		}
+		applied := sh.nextApply - 1
+		declared := sh.cat.Declared()
+		err = sh.st.Snapshot(applied, declared)
+		sh.applyMu.Unlock()
+		if !errors.Is(err, store.ErrStale) {
+			return SnapshotResult{Seq: int(applied), Declared: len(declared)}, err
+		}
+	}
+	return SnapshotResult{}, err
 }
 
 // Close closes every shard's store.

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -36,18 +37,18 @@ func TestShardIsolation(t *testing.T) {
 	}
 
 	q := ods(t, "[month] -> [quarter]")
-	res, _, shard, err := r.ProveOne("sales", q)
+	res, _, shard, err := r.ProveOne(context.Background(), "sales", q)
 	if err != nil || !res.Implied {
 		t.Fatalf("sales shard should imply its own constraint (err %v, shard %s)", err, shard)
 	}
-	res, _, _, err = r.ProveOne("inventory", q)
+	res, _, _, err = r.ProveOne(context.Background(), "inventory", q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Implied {
 		t.Fatal("inventory shard must not see sales constraints")
 	}
-	res, _, _, err = r.ProveOne(DefaultShard, q)
+	res, _, _, err = r.ProveOne(context.Background(), DefaultShard, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestPrefixDerivation(t *testing.T) {
 		t.Fatalf("shards = %q, want default and d", names)
 	}
 	// A question mentioning only d-prefixed attributes consults shard d.
-	res, _, shard, err := r.ProveOne(DefaultShard, ods(t, "[d_date] -> [d_date_sk]"))
+	res, _, shard, err := r.ProveOne(context.Background(), DefaultShard, ods(t, "[d_date] -> [d_date_sk]"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestPrefixDerivation(t *testing.T) {
 		t.Fatalf("prove routed to %q (implied %v), want shard d implied", shard, res.Implied)
 	}
 	// Explicit schema overrides derivation.
-	res, _, shard, err = r.ProveOne("other", ods(t, "[d_date] -> [d_date_sk]"))
+	res, _, shard, err = r.ProveOne(context.Background(), "other", ods(t, "[d_date] -> [d_date_sk]"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +163,14 @@ func TestDurableRestart(t *testing.T) {
 		}
 	}
 	// Verdicts survive too: the transitive chain was cut before the restart.
-	res, _, _, err := r2.ProveOne("sales", ods(t, "[week] -> [quarter]"))
+	res, _, _, err := r2.ProveOne(context.Background(), "sales", ods(t, "[week] -> [quarter]"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Implied {
 		t.Fatal("withdrawn chain link still implied after restart")
 	}
-	res, _, _, err = r2.ProveOne("sales", ods(t, "[month] -> [quarter]"))
+	res, _, _, err = r2.ProveOne(context.Background(), "sales", ods(t, "[month] -> [quarter]"))
 	if err != nil || !res.Implied {
 		t.Fatalf("surviving constraint not implied after restart (err %v)", err)
 	}
@@ -217,7 +218,7 @@ func TestAutomaticSnapshotAndRecovery(t *testing.T) {
 	if rec.Replayed >= 7 {
 		t.Fatalf("recovery replayed the whole history (%d records) despite a snapshot", rec.Replayed)
 	}
-	res, _, _, err := r2.ProveOne("s", ods(t, "[A0] -> [A7]"))
+	res, _, _, err := r2.ProveOne(context.Background(), "s", ods(t, "[A0] -> [A7]"))
 	if err != nil || !res.Implied {
 		t.Fatalf("chain end not implied after snapshot+replay recovery (err %v)", err)
 	}
@@ -286,11 +287,11 @@ func TestApplyBatchGroupsPerShard(t *testing.T) {
 	if after := fmt.Sprint(r2.Stats()["a"].Catalog.Declared); after != before {
 		t.Fatalf("declared count drifted across mixed-batch replay: %s -> %s", before, after)
 	}
-	res2, _, _, err := r2.ProveOne("a", ods(t, "[New] -> [P0]"))
+	res2, _, _, err := r2.ProveOne(context.Background(), "a", ods(t, "[New] -> [P0]"))
 	if err != nil || !res2.Implied {
 		t.Fatalf("batch declare lost in replay (err %v)", err)
 	}
-	res2, _, _, err = r2.ProveOne("a", ods(t, "[P0] -> [P1]"))
+	res2, _, _, err = r2.ProveOne(context.Background(), "a", ods(t, "[P0] -> [P1]"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestProveBatchOrderAndGrouping(t *testing.T) {
 		ods(t, "[A] -> [C]"), // x: implied transitively
 		ods(t, "[C] -> [A]"), // x under explicit schema... resolved per call below
 	}
-	verdicts, err := r.ProveBatch("x", stmts)
+	verdicts, err := r.ProveBatch(context.Background(), "x", stmts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestConcurrentMutateAndProve(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				if _, _, _, err := r.ProveOne("hot", ods(t, "[W0_0] -> [W0_1]")); err != nil {
+				if _, _, _, err := r.ProveOne(context.Background(), "hot", ods(t, "[W0_0] -> [W0_1]")); err != nil {
 					t.Error(err)
 					return
 				}

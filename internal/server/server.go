@@ -23,13 +23,21 @@
 // All handlers are safe for concurrent use; they delegate synchronization to
 // the router and its shards. Request and response bodies are JSON; parse
 // errors and malformed statements answer 400 with {"error": ...}.
+//
+// Prove and rewrite handlers thread the request's context into the catalog
+// tier chain: a client that disconnects mid-/prove aborts the in-flight
+// pattern search instead of leaving it burning CPU, and WithProveTimeout
+// bounds every search server-side (a deadline answers 504).
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"odlib/internal/catalog"
 	"odlib/internal/core"
@@ -39,13 +47,26 @@ import (
 
 // Server is the HTTP front end over a sharded constraint catalog.
 type Server struct {
-	rt  *router.Router
-	mux *http.ServeMux
+	rt           *router.Router
+	mux          *http.ServeMux
+	proveTimeout time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithProveTimeout bounds every prove/rewrite request's search time; zero
+// (the default) leaves searches bounded only by the client's patience.
+func WithProveTimeout(d time.Duration) Option {
+	return func(s *Server) { s.proveTimeout = d }
 }
 
 // New builds a server over the given router.
-func New(rt *router.Router) *Server {
+func New(rt *router.Router, opts ...Option) *Server {
 	s := &Server{rt: rt, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /ods", s.handleDeclare)
 	s.mux.HandleFunc("GET /ods", s.handleList)
 	s.mux.HandleFunc("DELETE /ods", s.handleRemove)
@@ -179,6 +200,31 @@ func statusOf(err error) int {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
+}
+
+// proveCtx derives the context a prove or rewrite runs under: the request's
+// own (cancelled when the client disconnects), bounded by the configured
+// prove timeout when one is set.
+func (s *Server) proveCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.proveTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.proveTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeSearchError answers a failed prove: deadline exhaustion is a gateway
+// timeout, a disconnected client gets nothing (nobody is listening — the
+// write would be wasted bytes at best), and anything else (the attribute
+// guard) is the statement's own fault.
+func writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("prove timed out: %w", err))
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// Client went away; abort silently.
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
 }
 
 // batchRequest is one request's worth of declares and removes, applied with
@@ -367,13 +413,15 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	// One atomic conjunction: every expanded OD (a "<->" statement is two)
 	// is decided against the same constraint snapshot of its shard, and the
 	// reported generation is the one the verdict was computed under.
-	res, gen, shard, err := s.rt.ProveOne(req.Schema, ods)
+	ctx, cancel := s.proveCtx(r)
+	defer cancel()
+	res, gen, shard, err := s.rt.ProveOne(ctx, req.Schema, ods)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if res.Err != nil {
-		writeError(w, http.StatusUnprocessableEntity, res.Err)
+		writeSearchError(w, r, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, proveResponse{
@@ -416,10 +464,25 @@ func (s *Server) handleBatchProve(w http.ResponseWriter, r *http.Request) {
 		}
 		stmts[i] = ods
 	}
-	verdicts, err := s.rt.ProveBatch(req.Schema, stmts)
+	ctx, cancel := s.proveCtx(r)
+	defer cancel()
+	verdicts, err := s.rt.ProveBatch(ctx, req.Schema, stmts)
 	if err != nil {
 		writeError(w, statusOf(err), err)
 		return
+	}
+	if err := ctx.Err(); err != nil {
+		for _, v := range verdicts {
+			if v.Result.Err != nil && errors.Is(v.Result.Err, err) {
+				// The context died mid-batch and took statements with it:
+				// a server-side deadline answers 504 for the whole batch
+				// (mixing real verdicts with deadline errors in a 200 would
+				// make them indistinguishable from statement-level faults),
+				// a vanished client gets nothing.
+				writeSearchError(w, r, err)
+				return
+			}
+		}
 	}
 	resp := batchProveResponse{Results: make([]proveResponse, len(verdicts))}
 	for i, v := range verdicts {
@@ -492,9 +555,13 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	var gen uint64
 	if group {
 		out, gen = cat.ReduceGroupByStamped(list)
-	} else if out, gen, err = cat.ReduceOrderStamped(list); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
+	} else {
+		ctx, cancel := s.proveCtx(r)
+		defer cancel()
+		if out, gen, err = cat.ReduceOrderStampedCtx(ctx, list); err != nil {
+			writeSearchError(w, r, err)
+			return
+		}
 	}
 	resp := rewriteResponse{
 		Input:      out.Input.String(),
@@ -557,23 +624,39 @@ type healthzResponse struct {
 	OK     bool                         `json:"ok"`
 	Shards map[string]router.ShardStats `json:"shards"`
 	Totals struct {
-		Shards   int `json:"shards"`
-		Declared int `json:"declared"`
-		Closure  int `json:"closure"`
+		Shards    int               `json:"shards"`
+		Declared  int               `json:"declared"`
+		Closure   int               `json:"closure"`
+		Negative  int               `json:"negativeClosure"`
+		Tiers     catalog.TierStats `json:"tiers"`
+		Searches  uint64            `json:"searches"`
+		Nodes     uint64            `json:"searchNodes"`
+		Cancelled uint64            `json:"cancelledSearches"`
 	} `json:"totals"`
 }
 
-// handleHealthz reports per-shard state. OK turns false when any shard's
-// WAL has a sticky failure (that shard rejects mutations) or its last
-// snapshot failed (the WAL compacts no more and recovery time grows
-// unboundedly) — an orchestrator must see both without scraping per-shard
-// fields.
+// handleHealthz reports per-shard state — including the verdict tier hit
+// counters and search parallelism/effort, totalled across shards so an
+// operator can read the fast-path economics off one scrape. OK turns false
+// when any shard's WAL has a sticky failure (that shard rejects mutations)
+// or its last snapshot failed (the WAL compacts no more and recovery time
+// grows unboundedly) — an orchestrator must see both without scraping
+// per-shard fields.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{OK: true, Shards: s.rt.Stats()}
 	resp.Totals.Shards = len(resp.Shards)
 	for _, st := range resp.Shards {
 		resp.Totals.Declared += st.Catalog.Declared
 		resp.Totals.Closure += st.Catalog.Closure
+		resp.Totals.Negative += st.Catalog.Negative
+		resp.Totals.Tiers.Trivial += st.Catalog.Tiers.Trivial
+		resp.Totals.Tiers.Closure += st.Catalog.Tiers.Closure
+		resp.Totals.Tiers.Negative += st.Catalog.Tiers.Negative
+		resp.Totals.Tiers.Memo += st.Catalog.Tiers.Memo
+		resp.Totals.Tiers.Search += st.Catalog.Tiers.Search
+		resp.Totals.Searches += st.Catalog.Prover.Searches
+		resp.Totals.Nodes += st.Catalog.Prover.Nodes
+		resp.Totals.Cancelled += st.Catalog.Prover.Cancelled
 		if st.Store != nil && (st.Store.WALError != "" || st.Store.SnapshotError != "") {
 			resp.OK = false
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,13 @@ import (
 
 	"odlib/internal/core"
 )
+
+// ErrStale reports a Snapshot request whose seq is no longer the last staged
+// record: a concurrent append has already claimed a later sequence number,
+// and snapshotting (which resets the WAL) would drop that record from the
+// log before it reaches any snapshot. Callers treat it as "try again with a
+// fresher seq", not as a failure.
+var ErrStale = errors.New("store: snapshot seq is stale")
 
 // Options configures a shard store.
 type Options struct {
@@ -165,24 +173,30 @@ func (s *Store) Seq() uint64 {
 
 // Snapshot durably writes ods as the state at seq and resets the WAL. The
 // caller must guarantee that ods is exactly the catalog state after applying
-// every record up to seq, and that no append runs concurrently (the shard
-// holds its mutation lock) — writers on this shard stall for the duration,
-// readers are unaffected.
+// every record up to seq. Appends are excluded for the duration by the
+// store's own lock, and a seq that is no longer the last staged record is
+// refused with ErrStale — resetting the WAL then would silently drop the
+// staged records past seq. Writers on this shard stall while the snapshot
+// writes, readers are unaffected.
 //
 // A snapshot failure is never a durability loss: the WAL is only reset
 // after the snapshot is fully durable, so on failure every record stays in
 // the log and recovery replays it. The failure is remembered in Stats
-// (SnapshotError) until a later snapshot succeeds.
+// (SnapshotError) until a later snapshot succeeds; ErrStale is a skip, not
+// a failure, and is not remembered.
 func (s *Store) Snapshot(seq uint64, ods []core.OD) error {
-	err := s.trySnapshot(seq, ods)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq != s.seq {
+		return ErrStale
+	}
+	err := s.trySnapshot(seq, ods)
 	s.snapshotErr = err
 	if err == nil {
 		s.snapshotSeq = seq
 		s.sinceSnapshot = 0
 		s.snapshots++
 	}
-	s.mu.Unlock()
 	return err
 }
 
