@@ -150,6 +150,44 @@ func TestParallelExperimentJSON(t *testing.T) {
 	}
 }
 
+// TestClientExperimentJSON runs the odclient experiment end to end. The
+// request-count reduction — unlike wall clock — is scheduler-independent
+// (a coalesced/cached prove either reached the wire or it did not), so the
+// 2x contract is asserted here as well as gated in CI.
+func TestClientExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "client", "-json", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Experiment string `json:"experiment"`
+		Metrics    []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	decodeBench(t, dir, "BENCH_client.json", &res)
+	if res.Experiment != "client" {
+		t.Errorf("experiment = %q", res.Experiment)
+	}
+	byName := map[string]float64{}
+	for _, m := range res.Metrics {
+		byName[m.Name] = m.Value
+	}
+	for _, want := range []string{"direct/requests", "coalesced/requests", "request_reduction"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("metric %q missing from %v", want, byName)
+		}
+	}
+	if v := byName["request_reduction"]; v < 2 {
+		t.Errorf("request_reduction = %.1f, want >= 2", v)
+	}
+	if byName["direct/requests"] != 32*256 {
+		t.Errorf("direct client sent %v requests, want exactly one per prove (%d)",
+			byName["direct/requests"], 32*256)
+	}
+}
+
 // TestChurnExperimentJSON runs the churn experiment end to end: the negative
 // closure must have served refutations across generation bumps (hits per
 // generation at least 1) — that survival is the tier's whole point.

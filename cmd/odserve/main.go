@@ -23,6 +23,7 @@
 //	curl -X POST localhost:8080/prove/batch -d '{"statements": ["[a] -> [c]", "[c] -> [a]"]}'
 //	curl -X POST localhost:8080/rewrite -d '{"order": "[year, quarter, month]"}'
 //	curl -X POST localhost:8080/snapshot
+//	curl localhost:8080/generation
 //	curl localhost:8080/healthz
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight

@@ -1,28 +1,3 @@
-// Package armstrong implements the paper's completeness construction
-// (Section 4): for a set M of order dependencies, it builds a relation
-// instance that satisfies M and falsifies every OD not in the closure M⁺ —
-// the OD analogue of an Armstrong relation.
-//
-// The construction follows the paper:
-//
-//   - Append (Definition 17, Figures 4–6) glues sub-tables after shifting
-//     values so that every row of the first table is strictly below every
-//     row of the second on all attributes; Lemma 9 shows this introduces no
-//     new splits or swaps beyond the trivial [] ↦ Y.
-//   - SplitTable (Figure 7) is Ullman's two-row construction per attribute
-//     subset, falsifying every FD-form OD outside M⁺ (Lemma 10, Theorem 16).
-//   - SwapTable (Figures 8–9) adds, for every attribute pair that may swap,
-//     a sub-table per maximal context: the context is frozen to constants
-//     and the construction recurses on the reduced set (Hypothesis 1,
-//     Lemmas 12–13); the empty-context case is built directly from the
-//     order-compatibility components, which the Chain axiom guarantees keep
-//     A and B apart (Figure 9, Lemma 12).
-//   - CanonicalTable appends the two halves (Lemmas 14–15, Theorem 17).
-//
-// The package also provides EnumerationTable, a direct alternative justified
-// by two-row locality: appending one two-row block per sign pattern that
-// satisfies M is complete by construction. It is used to cross-validate the
-// paper's construction in tests.
 package armstrong
 
 import (

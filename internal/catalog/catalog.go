@@ -1,37 +1,3 @@
-// Package catalog provides a thread-safe order-dependency constraint
-// catalog: the shared, long-lived store of declared ODs that concurrent
-// queries consult at optimization time.
-//
-// The paper names an efficient OD theorem prover usable inside a DBMS as
-// its primary future-work item (Section 6). A prover alone is not enough
-// for that setting: the constraint set is shared mutable state (DDL adds
-// and drops constraints while queries run), the same implication questions
-// recur across queries, and the pattern search behind each answer is
-// exponential in the mentioned attributes. The catalog supplies the missing
-// machinery, following the shape of Hyrise's OrderDependency storage —
-// hashing with equality buckets, inflate/deflate, eager transitive-closure
-// construction — adapted to list-based OD semantics.
-//
-// Implication questions descend an explicit verdict tier chain, cheapest
-// first; each tier's hits are counted in Stats:
-//
-//	trivial      syntactic triviality, no state consulted
-//	closure      membership in the eagerly maintained transitive closure
-//	negative     the negative closure: refuted ODs with witnesses, kept
-//	             valid across mutations by incremental revalidation
-//	memo         the bounded, generation-stamped verdict memo
-//	search       the prover's (optionally parallel) pattern search
-//
-// All methods are safe for concurrent use. Mutations (Add, Remove) hold an
-// exclusive lock and eagerly rebuild the closure and a fresh prover pinned
-// to the new generation; reads grab that immutable state under a brief
-// shared lock and then decide outside any lock, so one expensive prove can
-// never stall mutations — or, through a pending writer, the whole daemon.
-// Memo entries carry the generation of the snapshot that computed them, so
-// a verdict finishing after a mutation lands under its own (dead)
-// generation rather than poisoning the new one. The Ctx method variants
-// thread a context.Context into the search, so callers (the HTTP layer,
-// with client disconnects and prove deadlines) can abort in-flight work.
 package catalog
 
 import (

@@ -1,0 +1,12 @@
+// Package datetime models the paper's Figure 2: the graph of order
+// dependencies rooted at a date stamp. Each node is an attribute list that
+// the date determines lexicographically — [year], [year, quarter, month],
+// [year, month, day], [week_seq, day_of_week], and so on — and equivalent
+// nodes (such as [year, month] and [year, quarter, month]) collapse by
+// Theorem 10 (Path): a list on a path may be suffixed or spliced along an
+// equivalent node.
+//
+// The most important ordered domain in practice is time (85 of TPC-DS's 99
+// queries involve date predicates, per the paper), so this package is the
+// constraint vocabulary most deployments would register first.
+package datetime

@@ -1,15 +1,3 @@
-// Package discover infers order dependencies from relation instances — the
-// research direction the paper spawned (its Section 6 proposes OD
-// determination for schema design; later work such as the authors' OD
-// discovery algorithms industrialized it).
-//
-// Discovery enumerates candidate ODs level-wise over duplicate-free
-// attribute lists, validates each against the data with the split/swap
-// check of internal/core, and keeps a minimal set: a candidate already
-// implied by the dependencies found so far (per the complete prover of
-// internal/prover) is redundant and dropped. The result is a small
-// generating set whose closure covers everything the instance satisfies
-// within the enumerated space.
 package discover
 
 import (

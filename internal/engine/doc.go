@@ -1,0 +1,14 @@
+// Package engine is a small in-memory relational execution engine: tables
+// with sorted (tree) indexes and volcano-style operators — scans, filters,
+// projections, sorts, stream and hash aggregation, merge and hash joins —
+// with per-execution cost statistics.
+//
+// It stands in for the industrial system (IBM DB2 9.7) on which the paper
+// prototyped its order-dependency rewrites. The paper's performance claims
+// are about plan shape: an OD rewrite lets a plan satisfy ORDER BY and GROUP
+// BY from an index scan instead of a sort, or replace a fact-to-dimension
+// join with two index probes plus a surrogate-key range scan. This engine
+// exposes exactly those operators and counts their work (rows, comparisons,
+// probes), so experiments reproduce who wins and why, if not the absolute
+// milliseconds of the original testbed.
+package engine

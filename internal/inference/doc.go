@@ -1,0 +1,19 @@
+// Package inference implements the paper's axiomatization of order
+// dependencies (Definition 7) as a machine-checkable proof system.
+//
+// A Proof is a sequence of steps. Each step concludes one OD and is either an
+// assumption or an application of a primitive rule: the six axioms OD1–OD6,
+// with the bidirectional axioms (Normalization, Suffix, Chain) split into a
+// forward and a backward form so that every step concludes a single OD. The
+// Verify method re-checks every step against the rule schemas, so a verified
+// proof is evidence in the proof-theoretic sense — nothing is trusted about
+// how it was produced.
+//
+// The paper's derived theorems (Union, Augmentation, Shift, Decomposition,
+// Replace, Eliminate, Left Eliminate, Drop, Path, Partition, Downward
+// Closure, Permutation; Theorems 2–12 and 14) are implemented on Builder as
+// functions that emit complete axiom-level derivations. Their tests verify
+// both the emitted proofs and, via internal/prover, the semantic validity of
+// every conclusion — reproducing the soundness theorem (Theorem 1)
+// mechanically.
+package inference

@@ -1,0 +1,13 @@
+// Package monotone derives order dependencies from algebraic expressions
+// over columns, in the spirit of the paper's Example 5 and of Malkemus et
+// al.'s predicate derivation and monotonicity detection in DB2 (the paper's
+// [12]): a generated column G = f(A) with f monotonically non-decreasing
+// satisfies the OD [A] ↦ [G], with no data inspection needed.
+//
+// Expressions support column references, integer constants, negation,
+// addition, subtraction, scaling by constants, and non-decreasing step
+// functions (SQL CASE expressions over ascending thresholds — the tax
+// bracket of Example 5). The analysis computes, per referenced column, the
+// direction in which the expression moves as the column grows, and emits
+// ODs for single-column monotone expressions.
+package monotone

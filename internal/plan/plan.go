@@ -1,24 +1,3 @@
-// Package plan builds physical query plans, applying the paper's
-// order-dependency rewrites where the declared constraints justify them.
-//
-// Two planning problems are covered, matching the paper's evaluation:
-//
-//   - Single-table aggregation/order queries (Example 1 and Example 5):
-//     ORDER BY and GROUP BY lists are reduced with internal/rewrite, and an
-//     index scan replaces an explicit sort whenever an available index
-//     covers the reduced order — including covers that only order
-//     dependencies can establish, such as an income index serving ORDER BY
-//     tax_bracket, tax_payable.
-//
-//   - Star-schema date-range queries (Section 2.3, the DB2/TPC-DS
-//     prototype [18]): when the dimension's surrogate key is declared order
-//     equivalent to its natural date, a fact-to-dimension join driven by a
-//     natural-date range collapses to two probes into the dimension index
-//     plus a surrogate-key range scan of the fact table.
-//
-// Each planner produces both the rewritten plan and an oblivious baseline,
-// so experiments can measure the rewrite's effect with everything else held
-// fixed.
 package plan
 
 import (

@@ -1,0 +1,16 @@
+// Package polar extends order dependencies to polarized (mixed
+// ascending/descending) attribute lists — the SQL ORDER BY A ASC, B DESC
+// shape that the paper's Section 2.1 explicitly sets aside and the authors
+// treat in the follow-on work it cites as [19] ("Chasing polarized order
+// dependencies").
+//
+// A polarized list annotates each attribute with a direction; comparison
+// multiplies each attribute's outcome by its polarity. Everything from the
+// unpolarized theory lifts: satisfaction reduces to sorted adjacent scans,
+// two-tuple locality still holds, so implication is again decidable by
+// sign-pattern search, and the Left Eliminate rewrite reduces polarized
+// ORDER BY lists. Plain ODs embed as all-ascending polarized ODs, and
+// flipping every polarity on both sides of a dependency preserves it
+// (negation duality) — both facts are property-tested against
+// internal/core.
+package polar

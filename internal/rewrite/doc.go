@@ -1,0 +1,31 @@
+// Package rewrite implements order-based query rewrites over ORDER BY and
+// GROUP BY lists.
+//
+// ReduceOrderFD is the ReduceOrder algorithm of Simmen, Shekita and Malkemus
+// ("Fundamental techniques for order optimization", SIGMOD 1996 — the
+// paper's [17]): sweep the order list right to left and drop an attribute
+// whenever the set of attributes to its left functionally determines it.
+//
+// ReduceOrder extends it with the paper's order-dependency step
+// (Section 2.3, "ReduceOrder+"): an attribute is also dropped when a list of
+// attributes to its right orders it — justified by Theorem 8 (Left
+// Eliminate). With the OD [month] ↦ [quarter], both ORDER BY year, month,
+// quarter and ORDER BY year, quarter, month reduce to year, month, which no
+// FD reasoning can do (Example 1: string-valued quarters order Fall, Spring,
+// Summer, Winter — functional determination says nothing about order).
+//
+// Every reduction this package performs preserves order equivalence: the
+// reduced list L′ satisfies L ↔ L′ under the given constraints, so a tuple
+// stream ordered by L′ satisfies an ORDER BY L and vice versa. Reductions
+// return machine-checkable proofs of the equivalence on request.
+//
+// The rewriter itself is pure list surgery; every OD elimination is
+// justified by one "does X order Y?" question, asked through the Oracle
+// seam. By default a local prover answers (UseProver shares a memoized
+// one — the catalog pins its generation-stamped memo view this way);
+// UseOracle swaps in any other answerer, which is how pkg/odclient runs
+// these same sweeps against a remote constraint catalog. A Constraints
+// value describes one constraint state and is safe for concurrent use once
+// its prover or oracle is installed; the lazy first Prover build is not
+// locked.
+package rewrite

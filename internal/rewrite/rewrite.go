@@ -1,23 +1,3 @@
-// Package rewrite implements order-based query rewrites over ORDER BY and
-// GROUP BY lists.
-//
-// ReduceOrderFD is the ReduceOrder algorithm of Simmen, Shekita and Malkemus
-// ("Fundamental techniques for order optimization", SIGMOD 1996 — the
-// paper's [17]): sweep the order list right to left and drop an attribute
-// whenever the set of attributes to its left functionally determines it.
-//
-// ReduceOrder extends it with the paper's order-dependency step
-// (Section 2.3, "ReduceOrder+"): an attribute is also dropped when a list of
-// attributes to its right orders it — justified by Theorem 8 (Left
-// Eliminate). With the OD [month] ↦ [quarter], both ORDER BY year, month,
-// quarter and ORDER BY year, quarter, month reduce to year, month, which no
-// FD reasoning can do (Example 1: string-valued quarters order Fall, Spring,
-// Summer, Winter — functional determination says nothing about order).
-//
-// Every reduction this package performs preserves order equivalence: the
-// reduced list L′ satisfies L ↔ L′ under the given constraints, so a tuple
-// stream ordered by L′ satisfies an ORDER BY L and vice versa. Reductions
-// return machine-checkable proofs of the equivalence on request.
 package rewrite
 
 import (
@@ -41,7 +21,19 @@ type Constraints struct {
 	FDs []fd.FD
 	ODs []core.OD
 
-	prov *prover.Prover
+	prov   *prover.Prover
+	oracle Oracle
+}
+
+// Oracle answers the implication questions a reduction asks. The rewriter
+// itself is pure list surgery; every elimination it performs is justified by
+// one "does X order Y?" question, and an Oracle is whoever answers them — a
+// local prover by default, a remote constraint catalog (pkg/odclient) when
+// the optimizer runs apart from the daemon that owns the constraints.
+type Oracle interface {
+	// OrdersBy reports whether the constraint set implies x ↦ y.
+	// Cancelling ctx aborts the underlying decision.
+	OrdersBy(ctx context.Context, x, y core.List) (bool, error)
 }
 
 // NewConstraints bundles FDs and ODs. Each OD also contributes its implied
@@ -64,6 +56,18 @@ func (c *Constraints) UseProver(p *prover.Prover) *Constraints {
 	return c
 }
 
+// UseOracle routes the rewriter's implication questions through o instead of
+// the local prover: the seam that lets every existing rewrite call site run
+// against a remote catalog. The FD sweep still runs locally over c.FDs (FD
+// implication is cheap closure computation, not worth a round trip); only
+// the exponential OD questions cross the seam. The oracle must answer for
+// the same constraint set c was built over, or reductions lose their
+// order-equivalence guarantee.
+func (c *Constraints) UseOracle(o Oracle) *Constraints {
+	c.oracle = o
+	return c
+}
+
 // Prover returns a (cached) implication prover over the OD set.
 func (c *Constraints) Prover() *prover.Prover {
 	if c.prov == nil {
@@ -75,6 +79,9 @@ func (c *Constraints) Prover() *prover.Prover {
 // ordersBy reports whether the declared ODs imply X ↦ Y. Cancelling ctx
 // aborts the underlying implication search.
 func (c *Constraints) ordersBy(ctx context.Context, x, y core.List) (bool, error) {
+	if c.oracle != nil {
+		return c.oracle.OrdersBy(ctx, x, y)
+	}
 	if len(c.ODs) == 0 {
 		return core.NewOD(x, y).Trivial(), nil
 	}
@@ -167,7 +174,23 @@ func ReduceOrderCtx(ctx context.Context, order core.List, c *Constraints) (Resul
 
 // Equivalent reports whether the constraints imply ORDER BY a and ORDER BY b
 // produce identical orderings (a ↔ b).
+//
+// With an Oracle installed the two directions are two separate OrdersBy
+// calls, which against a remote catalog under concurrent mutation may be
+// answered by different constraint generations — like every oracle-backed
+// sweep, a Constraints value describes one constraint state and callers
+// mutating that state concurrently get no atomicity across questions. For
+// a generation-atomic remote equivalence check, ask the daemon one "<->"
+// statement instead (odclient's Reasoner.Equivalent does exactly that).
 func Equivalent(a, b core.List, c *Constraints) (bool, error) {
+	if c.oracle != nil {
+		ctx := context.Background()
+		ok, err := c.ordersBy(ctx, a, b)
+		if err != nil || !ok {
+			return false, err
+		}
+		return c.ordersBy(ctx, b, a)
+	}
 	if len(c.ODs) == 0 {
 		return a.Normalize().Equal(b.Normalize()), nil
 	}

@@ -1,0 +1,35 @@
+// Package server exposes the sharded, durable OD constraint catalog over
+// HTTP/JSON: the network front end of the theorem-prover-as-a-service that
+// the paper's future-work section sketches for optimizer integration.
+//
+// Endpoints:
+//
+//	POST   /ods          declare OD statements ("->", "<->", "~" all accepted)
+//	GET    /ods          list declared ODs and closures, per shard (?schema= for one)
+//	DELETE /ods          withdraw declared ODs
+//	POST   /ods/batch    declare and withdraw many statements in one shard mutation
+//	POST   /prove        decide catalog ⊨ statement, with a counterexample on refutation
+//	POST   /prove/batch  decide many statements against one snapshot per shard
+//	POST   /rewrite      ReduceOrder⁺ / ReduceGroupBy a list under the catalog
+//	POST   /snapshot     force a durable snapshot (admin; ?schema= or body for one shard)
+//	GET    /generation   per-shard constraint generation counters (?schema= for one)
+//	GET    /healthz      liveness plus per-shard catalog, store and recovery statistics
+//
+// docs/API.md documents every endpoint with request/response examples and
+// error shapes; pkg/odclient is the Go client over this surface.
+//
+// Every mutating or proving request may carry a "schema" field selecting the
+// shard; without one the request lands on the default shard (or, when the
+// router runs with prefix derivation, the shard named by the unanimous
+// attribute prefix). Mutations are acknowledged only after they are durable
+// in the shard's write-ahead log.
+//
+// All handlers are safe for concurrent use; they delegate synchronization to
+// the router and its shards. Request and response bodies are JSON; parse
+// errors and malformed statements answer 400 with {"error": ...}.
+//
+// Prove and rewrite handlers thread the request's context into the catalog
+// tier chain: a client that disconnects mid-/prove aborts the in-flight
+// pattern search instead of leaving it burning CPU, and WithProveTimeout
+// bounds every search server-side (a deadline answers 504).
+package server

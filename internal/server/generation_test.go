@@ -1,0 +1,69 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"odlib/internal/router"
+)
+
+// generationz mirrors the GET /generation response shape.
+type generationz struct {
+	Shards map[string]uint64 `json:"shards"`
+}
+
+func TestGenerationEndpoint(t *testing.T) {
+	ts := newTestServer(t, router.Options{})
+
+	// A fresh daemon has no shards at all.
+	var g generationz
+	if code := call(t, ts, http.MethodGet, "/generation", nil, &g); code != 200 {
+		t.Fatalf("GET /generation: status %d", code)
+	}
+	if len(g.Shards) != 0 {
+		t.Fatalf("fresh daemon reports shards: %v", g.Shards)
+	}
+
+	// An absent shard polls as generation 0 — an empty catalog's.
+	g = generationz{}
+	if code := call(t, ts, http.MethodGet, "/generation?schema=sales", nil, &g); code != 200 {
+		t.Fatalf("GET /generation?schema=sales: status %d", code)
+	}
+	if g.Shards["sales"] != 0 {
+		t.Fatalf("absent shard generation = %d, want 0", g.Shards["sales"])
+	}
+
+	// Each effective mutation advances its shard's generation; the other
+	// shard's stays put.
+	for i, decl := range []string{"[a] -> [b]", "[b] -> [c]"} {
+		code := call(t, ts, http.MethodPost, "/ods",
+			map[string]any{"schema": "sales", "statements": []string{decl}}, nil)
+		if code != 200 {
+			t.Fatalf("declare %d: status %d", i, code)
+		}
+	}
+	code := call(t, ts, http.MethodPost, "/ods",
+		map[string]any{"schema": "inventory", "statements": []string{"[x] -> [y]"}}, nil)
+	if code != 200 {
+		t.Fatalf("declare inventory: status %d", code)
+	}
+
+	g = generationz{}
+	call(t, ts, http.MethodGet, "/generation", nil, &g)
+	if g.Shards["sales"] != 2 || g.Shards["inventory"] != 1 {
+		t.Fatalf("generations = %v, want sales:2 inventory:1", g.Shards)
+	}
+
+	// The per-shard poll agrees with the fan-out.
+	g = generationz{}
+	call(t, ts, http.MethodGet, "/generation?schema=sales", nil, &g)
+	if g.Shards["sales"] != 2 {
+		t.Fatalf("per-shard poll = %v, want sales:2", g.Shards)
+	}
+
+	// Invalid schema names are client errors.
+	var errResp map[string]string
+	if code := call(t, ts, http.MethodGet, "/generation?schema=Bad", nil, &errResp); code != 400 {
+		t.Fatalf("invalid schema: status %d, want 400", code)
+	}
+}

@@ -1,33 +1,3 @@
-// Package server exposes the sharded, durable OD constraint catalog over
-// HTTP/JSON: the network front end of the theorem-prover-as-a-service that
-// the paper's future-work section sketches for optimizer integration.
-//
-// Endpoints:
-//
-//	POST   /ods          declare OD statements ("->", "<->", "~" all accepted)
-//	GET    /ods          list declared ODs and closures, per shard (?schema= for one)
-//	DELETE /ods          withdraw declared ODs
-//	POST   /ods/batch    declare and withdraw many statements in one shard mutation
-//	POST   /prove        decide catalog ⊨ statement, with a counterexample on refutation
-//	POST   /prove/batch  decide many statements against one snapshot per shard
-//	POST   /rewrite      ReduceOrder⁺ / ReduceGroupBy a list under the catalog
-//	POST   /snapshot     force a durable snapshot (admin; ?schema= or body for one shard)
-//	GET    /healthz      liveness plus per-shard catalog, store and recovery statistics
-//
-// Every mutating or proving request may carry a "schema" field selecting the
-// shard; without one the request lands on the default shard (or, when the
-// router runs with prefix derivation, the shard named by the unanimous
-// attribute prefix). Mutations are acknowledged only after they are durable
-// in the shard's write-ahead log.
-//
-// All handlers are safe for concurrent use; they delegate synchronization to
-// the router and its shards. Request and response bodies are JSON; parse
-// errors and malformed statements answer 400 with {"error": ...}.
-//
-// Prove and rewrite handlers thread the request's context into the catalog
-// tier chain: a client that disconnects mid-/prove aborts the in-flight
-// pattern search instead of leaving it burning CPU, and WithProveTimeout
-// bounds every search server-side (a deadline answers 504).
 package server
 
 import (
@@ -75,6 +45,7 @@ func New(rt *router.Router, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /prove/batch", s.handleBatchProve)
 	s.mux.HandleFunc("POST /rewrite", s.handleRewrite)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /generation", s.handleGeneration)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -618,6 +589,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{Shards: res})
+}
+
+type generationResponse struct {
+	Shards map[string]uint64 `json:"shards"`
+}
+
+// handleGeneration serves the per-shard constraint generation counters: the
+// cheapest possible staleness poll. A client holding generation-stamped
+// verdicts (pkg/odclient's cache) revalidates its whole view with one GET
+// here instead of re-proving anything — equal generation means no effective
+// mutation happened, so every cached verdict still stands. ?schema= narrows
+// to one shard; absent shards answer generation 0 (an empty catalog's).
+func (s *Server) handleGeneration(w http.ResponseWriter, r *http.Request) {
+	if schema, ok := queryShard(r); ok {
+		gen, err := s.rt.GenerationOf(schema)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, generationResponse{Shards: map[string]uint64{schema: gen}})
+		return
+	}
+	writeJSON(w, http.StatusOK, generationResponse{Shards: s.rt.Generations()})
 }
 
 type healthzResponse struct {

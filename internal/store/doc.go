@@ -1,0 +1,25 @@
+// Package store is the durability subsystem of the OD constraint catalog: an
+// append-only write-ahead log of declare/remove records plus periodic
+// snapshots of the declared set, giving a catalog shard crash recovery with
+// no lost acknowledged mutation.
+//
+// The paper treats declared ODs as schema constraints a DBMS consults on
+// every query (Sections 2.3 and 6); a constraint catalog that evaporates on
+// restart cannot play that role. The layout per shard directory:
+//
+//	wal.log        length-prefixed JSON frames, one per mutation batch
+//	snapshot.json  latest snapshot {seq, ods}, replaced by atomic rename
+//
+// Frame format: 4-byte little-endian payload length, 4-byte little-endian
+// CRC32 (IEEE) of the payload, then the JSON payload. On open the log is
+// scanned sequentially; the first short, corrupt or CRC-mismatched frame
+// marks a torn tail — everything from there on is truncated away, which is
+// exactly the prefix-consistency a crashed group commit can leave behind.
+//
+// Appends are acknowledged through a group-commit goroutine: writers stage
+// frames into the current batch and wait; the committer writes the whole
+// batch with one write syscall and (when enabled) one fsync, then releases
+// every waiter. Under concurrent load the fsync cost amortizes across all
+// writers of a batch. A mutation is acknowledged to clients only after its
+// batch is durable.
+package store

@@ -1,0 +1,545 @@
+package odclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odlib/internal/catalog"
+	"odlib/internal/router"
+	"odlib/internal/server"
+)
+
+// countingHandler counts requests the server actually observes — the metric
+// coalescing and pipelining exist to shrink.
+type countingHandler struct {
+	h http.Handler
+	n atomic.Int64
+	// delay holds each request long enough for concurrent callers to pile
+	// onto the in-flight call (coalescing tests).
+	delay time.Duration
+}
+
+func (ch *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ch.n.Add(1)
+	if ch.delay > 0 {
+		time.Sleep(ch.delay)
+	}
+	ch.h.ServeHTTP(w, r)
+}
+
+// newDaemon boots a real router-backed daemon behind a request counter.
+func newDaemon(t *testing.T, opt router.Options, sopts ...server.Option) (*httptest.Server, *countingHandler) {
+	t.Helper()
+	rt, err := router.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &countingHandler{h: server.New(rt, sopts...)}
+	ts := httptest.NewServer(ch)
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	return ts, ch
+}
+
+func newTestClient(t *testing.T, ts *httptest.Server, opts ...Option) *Client {
+	t.Helper()
+	c, err := New(ts.URL, append([]Option{WithHTTPClient(ts.Client())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func declareChain(t *testing.T, c *Client, schema string) {
+	t.Helper()
+	if err := c.Declare(context.Background(), schema,
+		"[a] -> [b]", "[b] -> [c]", "[c] -> [d]"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProveDirect(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts)
+	declareChain(t, c, "")
+	ctx := context.Background()
+
+	v, err := c.Prove(ctx, "", "[a] -> [d]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Implied || v.Generation == 0 {
+		t.Fatalf("implied chain span: %+v", v)
+	}
+
+	v, err = c.Prove(ctx, "", "[d] -> [a]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Implied {
+		t.Fatalf("reversal should be refuted: %+v", v)
+	}
+	if v.Witness == nil {
+		t.Fatal("refutation without witness")
+	}
+	rel, err := v.Witness.Relation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("witness relation has %d rows, want 2", rel.Len())
+	}
+
+	if _, err := c.Prove(ctx, "", "not a statement"); err == nil {
+		t.Fatal("malformed statement should fail client-side")
+	}
+}
+
+func TestCoalescingCollapsesConcurrentProves(t *testing.T) {
+	ts, ch := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts)
+	declareChain(t, c, "")
+	ch.n.Store(0)
+	ch.delay = 50 * time.Millisecond
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	verdicts := make([]Verdict, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Textual variants of one question must share one flight.
+			stmt := "[a] -> [c]"
+			if i%2 == 1 {
+				stmt = "[ a ] -> [ c ]"
+			}
+			verdicts[i], errs[i] = c.Prove(context.Background(), "", stmt)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		if !verdicts[i].Implied {
+			t.Fatalf("caller %d: not implied", i)
+		}
+	}
+	// All 16 callers piled onto the ~50ms in-flight request: far fewer than
+	// one wire request each. Allow a little slack for goroutine scheduling
+	// (a caller may start after the first flight resolved).
+	if n := ch.n.Load(); n > 3 {
+		t.Fatalf("server observed %d requests for %d concurrent identical proves", n, callers)
+	}
+	if st := c.Stats(); st.CoalesceJoins == 0 {
+		t.Fatalf("no coalesce joins recorded: %+v", st)
+	}
+}
+
+func TestCoalescingCancelsWhenAllWaitersLeave(t *testing.T) {
+	// A handler that blocks until the client hangs up, then signals.
+	released := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/prove", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: the net/http server starts watching for a
+		// client disconnect only once the request body is consumed.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+			close(released)
+		case <-time.After(5 * time.Second):
+			// Leave without closing: the test reports the failure.
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithHTTPClient(ts.Client()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Prove(ctx, "", "[a] -> [b]")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller got %v, want context.Canceled", err)
+	}
+	select {
+	case <-released:
+		// The refcount drained and the in-flight HTTP request was cancelled:
+		// the server saw the disconnect.
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never saw the disconnect after every waiter left")
+	}
+}
+
+func TestPipeliningBatchesBursts(t *testing.T) {
+	ts, ch := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts, WithPipelining(20*time.Millisecond, 64))
+	declareChain(t, c, "")
+	ch.n.Store(0)
+
+	// 32 goroutines each prove a DISTINCT statement: coalescing can't help,
+	// only the pipeliner can — and it must still answer each correctly.
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Even i: implied span; odd i: refuted reversal.
+			stmt := []string{"[a] -> [c]", "[c] -> [a]", "[b] -> [d]", "[d] -> [b]"}[i%4]
+			v, err := c.Prove(context.Background(), "", stmt)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			if want := i%2 == 0; v.Implied != want {
+				t.Errorf("caller %d: %s implied=%v, want %v", i, stmt, v.Implied, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := ch.n.Load(); n >= callers/2 {
+		t.Fatalf("server observed %d requests for %d pipelined proves", n, callers)
+	}
+	st := c.Stats()
+	if st.PipelineBatches == 0 || st.PipelineStatements == 0 {
+		t.Fatalf("pipeliner idle: %+v", st)
+	}
+}
+
+func TestPipelinedDeclareThenProve(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts, WithPipelining(5*time.Millisecond, 16))
+	ctx := context.Background()
+	if err := c.Declare(ctx, "sales", "[x] -> [y]"); err != nil {
+		t.Fatal(err)
+	}
+	// Declare returned, so the mutation is durable and visible: the prove
+	// must see it.
+	v, err := c.Prove(ctx, "sales", "[x] -> [y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Implied {
+		t.Fatal("declared OD not implied after pipelined Declare returned")
+	}
+	if err := c.Remove(ctx, "sales", "[x] -> [y]"); err != nil {
+		t.Fatal(err)
+	}
+	v, err = c.Prove(ctx, "sales", "[x] -> [y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Implied {
+		t.Fatal("removed OD still implied")
+	}
+}
+
+func TestPipelinedMutationRejectsMalformedLocally(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts, WithPipelining(5*time.Millisecond, 64))
+	ctx := context.Background()
+
+	// One caller's malformed statement must fail client-side, before it
+	// can poison a shared /ods/batch window with a server-side 400.
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); badErr = c.Declare(ctx, "", "[not a statement") }()
+	go func() { defer wg.Done(); goodErr = c.Declare(ctx, "", "[p] -> [q]") }()
+	wg.Wait()
+	if badErr == nil {
+		t.Fatal("malformed declare should fail")
+	}
+	if goodErr != nil {
+		t.Fatalf("valid declare poisoned by a concurrent malformed one: %v", goodErr)
+	}
+	v, err := c.Prove(ctx, "", "[p] -> [q]")
+	if err != nil || !v.Implied {
+		t.Fatalf("valid declare did not land: %v %v", v, err)
+	}
+}
+
+func TestProveBatchReportsEveryStatementError(t *testing.T) {
+	// A statement exceeding the attribute guard fails individually inside
+	// the batch (unlike a parse error, which 400s the whole request).
+	ts, _ := newDaemon(t, router.Options{
+		Catalog: []catalog.Option{catalog.WithMaxAttrs(3)},
+	})
+	c := newTestClient(t, ts)
+	declareChain(t, c, "")
+	wide1 := "[q1] -> [q2, q3, q4]"
+	wide2 := "[r1] -> [r2, r3, r4]"
+	out, err := c.ProveBatch(context.Background(), "",
+		[]string{"[a] -> [c]", wide1, "[c] -> [a]", wide2})
+	if err == nil {
+		t.Fatal("statement-level failures must surface in the returned error")
+	}
+	for _, frag := range []string{"statement 1", "statement 3"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not name %s", err, frag)
+		}
+	}
+	if !out[0].Implied || out[2].Implied {
+		t.Fatalf("good slots wrong: %+v", out)
+	}
+	if out[1].Statement != wide1 || out[1].Generation != 0 {
+		t.Fatalf("failed slot should carry its statement and nothing else: %+v", out[1])
+	}
+}
+
+func TestCacheServesAndInvalidatesByGeneration(t *testing.T) {
+	ts, ch := newDaemon(t, router.Options{})
+	// maxAge < 0: trust the last observed generation indefinitely — this
+	// client is the only mutator, so its own mutations are the only
+	// invalidation source it needs.
+	c := newTestClient(t, ts, WithCache(128, -1))
+	ctx := context.Background()
+	declareChain(t, c, "")
+
+	if _, err := c.Prove(ctx, "", "[a] -> [c]"); err != nil {
+		t.Fatal(err)
+	}
+	ch.n.Store(0)
+	for i := 0; i < 10; i++ {
+		v, err := c.Prove(ctx, "", "[a] -> [c]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Implied {
+			t.Fatal("cached verdict flipped")
+		}
+	}
+	if n := ch.n.Load(); n != 0 {
+		t.Fatalf("cache hits reached the wire: %d requests", n)
+	}
+	if st := c.Stats(); st.CacheHits != 10 {
+		t.Fatalf("CacheHits = %d, want 10", st.CacheHits)
+	}
+
+	// A mutation through this client advances its generation view: the
+	// cached verdict for the old generation must not be served again.
+	if err := c.Declare(ctx, "", "[q] -> [r]"); err != nil {
+		t.Fatal(err)
+	}
+	ch.n.Store(0)
+	if _, err := c.Prove(ctx, "", "[a] -> [c]"); err != nil {
+		t.Fatal(err)
+	}
+	if n := ch.n.Load(); n == 0 {
+		t.Fatal("stale cached verdict served after a generation bump")
+	}
+}
+
+func TestCacheStalenessBoundPollsGeneration(t *testing.T) {
+	ts, ch := newDaemon(t, router.Options{})
+	// maxAge 0: every hit revalidates with a GET /generation first.
+	c := newTestClient(t, ts, WithCache(128, 0))
+	ctx := context.Background()
+	declareChain(t, c, "")
+	if _, err := c.Prove(ctx, "", "[a] -> [c]"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hits are served after a cheap poll, not a re-prove.
+	ch.n.Store(0)
+	if _, err := c.Prove(ctx, "", "[a] -> [c]"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.CacheHits != 1 || st.GenerationPolls != 1 {
+		t.Fatalf("want 1 hit + 1 poll, got %+v", st)
+	}
+
+	// A SECOND client mutates behind this one's back. The staleness poll
+	// must notice the new generation and force a re-prove.
+	c2 := newTestClient(t, ts)
+	if err := c2.Declare(ctx, "", "[c] -> [e]"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Prove(ctx, "", "[a] -> [e]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Implied {
+		t.Fatal("extended chain span should be implied after external declare")
+	}
+	before := c.Stats().CacheHits
+	v, err = c.Prove(ctx, "", "[a] -> [c]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Implied {
+		t.Fatal("span lost")
+	}
+	// The old cached verdict was generation-stale: served fresh, not from
+	// cache.
+	if c.Stats().CacheHits != before {
+		t.Fatal("generation-stale entry was served from cache")
+	}
+}
+
+func TestRetryOnTransientFailures(t *testing.T) {
+	rt, err := router.Open(router.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	inner := server.New(rt)
+	var fails atomic.Int64
+	fails.Store(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "warming up"})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.Declare(context.Background(), "", "[a] -> [b]"); err != nil {
+		t.Fatalf("declare should survive two 503s: %v", err)
+	}
+	if st := c.Stats(); st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+
+	// 4xx must NOT retry: one request, immediate error.
+	before := c.Stats().HTTPRequests
+	if _, err := c.Mutate(context.Background(), "Bad Schema!", []string{"[a] -> [b]"}, nil); err == nil {
+		t.Fatal("invalid schema should fail")
+	}
+	if got := c.Stats().HTTPRequests - before; got != 1 {
+		t.Fatalf("4xx cost %d requests, want 1 (no retry)", got)
+	}
+}
+
+func TestProveTimeoutIsNotRetried(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(map[string]string{"error": "prove timed out"})
+	}))
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	_, err = c.Prove(context.Background(), "", "[a] -> [b]")
+	if !IsProveTimeout(err) {
+		t.Fatalf("want a prove-timeout error, got %v", err)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("504 was retried: %d requests", n.Load())
+	}
+}
+
+func TestClosedClient(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts, WithPipelining(time.Hour, 1024)) // never flushes by timer
+	ctx := context.Background()
+
+	// A pipelined job pending at Close time is flushed, not stranded.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Prove(ctx, "", "[a] -> [a]")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("pending prove not flushed on Close: %v", err)
+	}
+
+	if _, err := c.Prove(ctx, "", "[a] -> [b]"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Prove after Close: %v, want ErrClosed", err)
+	}
+	if err := c.Declare(ctx, "", "[a] -> [b]"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Declare after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestHealthzAndGenerations(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts)
+	ctx := context.Background()
+	if err := c.Declare(ctx, "sales", "[a] -> [b]"); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Generations["sales"] != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	gens, err := c.Generations(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens["sales"] != 1 {
+		t.Fatalf("generations = %v", gens)
+	}
+}
+
+func TestSchemaShardsStayIsolated(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{})
+	c := newTestClient(t, ts, WithCache(64, -1))
+	ctx := context.Background()
+	if err := c.Declare(ctx, "sales", "[a] -> [b]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Declare(ctx, "inventory", "[b] -> [a]"); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := c.Prove(ctx, "sales", "[a] -> [b]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.Prove(ctx, "inventory", "[a] -> [b]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Implied || v2.Implied {
+		t.Fatalf("shard isolation broken: sales=%v inventory=%v", v1.Implied, v2.Implied)
+	}
+	// Same statement, different schemas: distinct cache keys.
+	if k1, k2 := fmt.Sprint(v1.Schema), fmt.Sprint(v2.Schema); k1 == k2 {
+		t.Fatalf("verdicts report the same shard %q", k1)
+	}
+}

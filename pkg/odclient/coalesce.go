@@ -1,0 +1,87 @@
+package odclient
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup collapses concurrent identical Prove calls into one in-flight
+// fetch — singleflight keyed by the canonical OD key. Unlike the classic
+// x/sync singleflight, waiters are refcounted against the fetch: each caller
+// that abandons (its context dies) decrements, and when the last one leaves
+// the underlying fetch is cancelled, so a question nobody is waiting on
+// stops burning server-side search nodes — the same contract the daemon has
+// with a disconnected HTTP client, kept intact through the extra layer.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	v       Verdict
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fetch once per key: the first caller becomes the leader and spawns
+// the fetch under a refcount-cancelled context; later callers with the same
+// key join its result (counted in joins). Every caller waits on its own ctx,
+// so one slow waiter never holds up another's cancellation.
+func (g *flightGroup) do(ctx context.Context, key string,
+	fetch func(context.Context) (Verdict, error), joins *atomic.Uint64) (Verdict, error) {
+	g.mu.Lock()
+	if cl, ok := g.calls[key]; ok {
+		cl.waiters++
+		g.mu.Unlock()
+		joins.Add(1)
+		return g.wait(ctx, key, cl)
+	}
+	cl := &flightCall{waiters: 1, done: make(chan struct{})}
+	// The fetch must not die with the leader alone — later joiners may
+	// still be waiting — so it runs detached from any one caller and is
+	// cancelled only when the refcount drains.
+	cl.ctx, cl.cancel = context.WithCancel(context.WithoutCancel(ctx))
+	g.calls[key] = cl
+	g.mu.Unlock()
+	go func() {
+		cl.v, cl.err = fetch(cl.ctx)
+		g.mu.Lock()
+		if g.calls[key] == cl {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		cl.cancel()
+		close(cl.done)
+	}()
+	return g.wait(ctx, key, cl)
+}
+
+// wait blocks until the call resolves or the caller's own context dies; an
+// abandoning caller releases its refcount share.
+func (g *flightGroup) wait(ctx context.Context, key string, cl *flightCall) (Verdict, error) {
+	select {
+	case <-cl.done:
+		return cl.v, cl.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		cl.waiters--
+		if cl.waiters == 0 {
+			// Nobody is listening: cancel the fetch and retire the call so
+			// the next asker starts fresh instead of joining a corpse.
+			cl.cancel()
+			if g.calls[key] == cl {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		return Verdict{}, ctx.Err()
+	}
+}

@@ -1,0 +1,42 @@
+// Package odclient is the optimizer-side client of the odserve constraint
+// daemon: the first first-class consumer of the HTTP/JSON surface, built for
+// the workload the paper's Section 6 sketches — a query optimizer consulting
+// declared order dependencies on every rewrite, in bursts of near-duplicate
+// implication questions.
+//
+// Three mechanisms turn that burst shape into few wire requests:
+//
+//   - Coalescing: concurrent identical Prove calls collapse into one
+//     in-flight request (singleflight per canonical OD key). Waiters are
+//     refcounted; when every caller abandons, the underlying request is
+//     cancelled, preserving the daemon's disconnect-aborts-search contract.
+//   - Pipelining: individual Prove/Declare/Remove calls accumulate for a
+//     configurable window or statement budget and flush through
+//     /prove/batch and /ods/batch — one round trip, one shard snapshot,
+//     one WAL group commit per burst (WithPipelining).
+//   - Caching: verdicts are cached under the generation number the server
+//     stamps them with, and served only while the shard's generation is
+//     unchanged; the client's view of "current" refreshes from every
+//     response it sees and, past a staleness bound, from the dedicated
+//     GET /generation poll (WithCache). Equal generation is the server's
+//     own memo-invalidation rule, observed from outside — a cache hit is
+//     exactly as fresh as the daemon's own memo.
+//
+// Failure handling mirrors the server's cancellation semantics: direct
+// calls inherit the caller's context end to end (a cancelled context aborts
+// the server-side pattern search), pipelined calls run under the client's
+// request timeout because a flushed batch is shared work, transport errors
+// and 502/503 retry with exponential backoff (WithRetry), and the daemon's
+// 504 prove-timeout answer is surfaced via IsProveTimeout, never retried.
+//
+// The Reasoner adapter exposes the odlib.Reasoner surface (Implies,
+// Counterexample, Equivalent, OrderCompatible) against a remote shard and
+// implements rewrite.Oracle, so Client.Constraints can hand existing
+// rewrite/planner call sites a *rewrite.Constraints whose implication
+// questions travel to the daemon — remote verdicts are differentially
+// tested to match local catalog verdicts.
+//
+// A Client is safe for concurrent use and meant to be shared process-wide:
+// sharing is what makes coalescing, pipelining and the cache effective.
+// Close flushes the pipeliner; calls after Close fail with ErrClosed.
+package odclient

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Fails when any internal/ or pkg/ package is missing its doc.go package
+# comment, or keeps a package comment outside doc.go (one source of truth:
+# the documented contract lives in doc.go, code files hold code).
+set -eu
+
+status=0
+for dir in $(find internal pkg -type d | sort); do
+    # Only package directories: at least one non-test .go file.
+    has_go=false
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) ;; *) has_go=true ;; esac
+    done
+    $has_go || continue
+
+    if [ ! -f "$dir/doc.go" ]; then
+        echo "undocumented package: $dir has no doc.go" >&2
+        status=1
+        continue
+    fi
+    if ! grep -q '^// Package ' "$dir/doc.go"; then
+        echo "$dir/doc.go lacks a '// Package ...' comment" >&2
+        status=1
+    fi
+    for f in "$dir"/*.go; do
+        [ "$f" = "$dir/doc.go" ] && continue
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q '^// Package ' "$f"; then
+            echo "$f carries a package comment; it belongs in $dir/doc.go" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "every internal/ and pkg/ package documents itself in doc.go"
+fi
+exit "$status"

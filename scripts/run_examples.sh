@@ -1,0 +1,54 @@
+#!/bin/sh
+# Builds and runs every examples/* program, asserting exit 0 — the guard
+# that keeps examples compiling AND running against the current API.
+#
+# A throwaway odserve instance is booted first and exported as ODSERVE_URL,
+# so examples that talk to a daemon (examples/client) exercise the real
+# wire surface; examples that don't simply ignore the variable. The daemon
+# gets a scratch data dir, so the durable code path is the one exercised.
+set -eu
+
+port="${ODSERVE_EXAMPLES_PORT:-18931}"
+datadir="$(mktemp -d)"
+logfile="$datadir/odserve.log"
+
+cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$datadir"
+}
+trap cleanup EXIT INT TERM
+
+echo "building examples and odserve..."
+go build ./examples/...
+# Run the built binary directly (not `go run`): the cleanup trap must be
+# able to kill the daemon itself, not a wrapper that may orphan it.
+go build -o "$datadir/odserve" ./cmd/odserve
+
+"$datadir/odserve" -addr "127.0.0.1:$port" -data-dir "$datadir/state" >"$logfile" 2>&1 &
+daemon_pid=$!
+
+# Wait for the daemon to answer.
+i=0
+until curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "odserve did not come up on port $port:" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+export ODSERVE_URL="http://127.0.0.1:$port"
+echo "throwaway odserve up at $ODSERVE_URL"
+
+status=0
+for dir in examples/*/; do
+    name="$(basename "$dir")"
+    printf '=== examples/%s\n' "$name"
+    if ! go run "./examples/$name" >/dev/null; then
+        echo "FAIL: examples/$name exited non-zero" >&2
+        status=1
+    fi
+done
+
+exit "$status"
