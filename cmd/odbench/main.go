@@ -18,6 +18,7 @@
 //	odbench -experiment parallel -json
 //	odbench -experiment churn -json
 //	odbench -experiment client -json
+//	odbench -experiment recovery -json
 //
 // With -json, machine-readable results are additionally written to
 // BENCH_<experiment>.json in the output directory (-out, default ".").
@@ -35,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,7 @@ import (
 	"odlib/internal/rewrite"
 	"odlib/internal/router"
 	"odlib/internal/server"
+	"odlib/internal/store"
 	"odlib/internal/warehouse"
 	"odlib/pkg/odclient"
 )
@@ -76,7 +79,7 @@ type metric struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("odbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "tpcds13", "one of tpcds13, tpcds18, example1, prover, armstrong, catalog, batch, parallel, churn, client")
+	experiment := fs.String("experiment", "tpcds13", "one of tpcds13, tpcds18, example1, prover, armstrong, catalog, batch, parallel, churn, client, recovery")
 	rows := fs.Int("rows", 100_000, "fact table rows")
 	days := fs.Int("days", 731, "days in the date dimension")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -108,6 +111,8 @@ func run(args []string) error {
 		res, err = runChurn(*seed)
 	case "client":
 		res, err = runClient(*seed)
+	case "recovery":
+		res, err = runRecovery()
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -898,6 +903,178 @@ func runClient(seed int64) (*benchResult, error) {
 			{Name: "cache_hits", Value: float64(st.CacheHits), Unit: "count"},
 			{Name: "coalesce_joins", Value: float64(st.CoalesceJoins), Unit: "count"},
 			{Name: "pipeline_batches", Value: float64(st.PipelineBatches), Unit: "count"},
+		},
+	}, nil
+}
+
+// runRecovery prices what background WAL compaction buys at restart. Two
+// data dirs take the identical churn-heavy workload — a base constraint set
+// plus thousands of paired declare/remove toggles, the burst-then-retract
+// shape set-based OD discovery emits — ending in the identical catalog
+// state. One dir never compacts, so recovery replays the whole toggle
+// history; the other compacts on cadence (plus one final pass and a
+// realistic uncompacted tail), so recovery loads a small snapshot and a
+// short suffix. The recovery-time ratio is the experiment; CI gates a 2x
+// floor. Mutation-latency percentiles during the compacted run ride along:
+// with snapshots off the apply path, writers must not feel the compactor.
+func runRecovery() (*benchResult, error) {
+	const (
+		baseODs  = 64      // steady-state declared chain
+		toggles  = 1500    // declare/remove pairs appended after the base set
+		togSize  = 8       // ODs per toggle record
+		cadence  = 256     // compaction nudge cadence (records) on the compacted dir
+		segBytes = 64 << 10
+		tail     = 32 // records left uncompacted after the final pass
+		reps     = 3  // recovery timings per dir; min wins (cold cache noise)
+	)
+
+	// populate drives the identical workload into a fresh router over dir
+	// and returns per-mutation wall-clock latencies.
+	populate := func(dir string, opt store.Options, compactFinal bool) ([]time.Duration, error) {
+		rt, err := router.Open(router.Options{DataDir: dir, Store: opt})
+		if err != nil {
+			return nil, err
+		}
+		defer rt.Close()
+		lat := make([]time.Duration, 0, 2*toggles+1)
+		mutate := func(remove bool, stmts []core.OD) error {
+			t0 := time.Now()
+			if remove {
+				_, err = rt.Remove("", stmts)
+			} else {
+				_, err = rt.Declare("", stmts)
+			}
+			lat = append(lat, time.Since(t0))
+			return err
+		}
+		// Disjoint pairs, not a chain: the experiment prices log length at
+		// recovery, and a chain's quadratic closure would drown that signal
+		// in closure maintenance on both sides of the comparison.
+		base := make([]core.OD, baseODs)
+		for i := range base {
+			base[i] = core.NewOD(
+				core.List{core.Attribute(fmt.Sprintf("b%d", i))},
+				core.List{core.Attribute(fmt.Sprintf("c%d", i))})
+		}
+		if err := mutate(false, base); err != nil {
+			return nil, err
+		}
+		for i := 0; i < toggles; i++ {
+			batch := make([]core.OD, togSize)
+			for j := range batch {
+				batch[j] = core.NewOD(
+					core.List{core.Attribute(fmt.Sprintf("t%d_%d", i, j))},
+					core.List{core.Attribute(fmt.Sprintf("u%d_%d", i, j))})
+			}
+			if err := mutate(false, batch); err != nil {
+				return nil, err
+			}
+			if err := mutate(true, batch); err != nil {
+				return nil, err
+			}
+		}
+		if compactFinal {
+			if _, err := rt.SnapshotAll(); err != nil {
+				return nil, err
+			}
+			// A realistic steady-state tail: the records that landed since
+			// the last compaction and still await the next one.
+			for i := 0; i < tail/2; i++ {
+				batch := []core.OD{core.NewOD(
+					core.List{core.Attribute(fmt.Sprintf("z%d", i))},
+					core.List{core.Attribute(fmt.Sprintf("w%d", i))})}
+				if err := mutate(false, batch); err != nil {
+					return nil, err
+				}
+				if err := mutate(true, batch); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return lat, nil
+	}
+
+	// recoverTime opens the populated dir and clocks full recovery —
+	// snapshot load, WAL replay across segments, catalog rebuild.
+	recoverTime := func(dir string) (time.Duration, int, error) {
+		best := time.Duration(0)
+		replayed := 0
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			rt, err := router.Open(router.Options{DataDir: dir})
+			if err != nil {
+				return 0, 0, err
+			}
+			d := time.Since(t0)
+			replayed = rt.Stats()[router.DefaultShard].Store.Recovery.Replayed
+			rt.Close()
+			if r == 0 || d < best {
+				best = d
+			}
+		}
+		return best, replayed, nil
+	}
+
+	tmp, err := os.MkdirTemp("", "odbench-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	records := 1 + 2*toggles
+
+	fmt.Printf("recovery experiment — %d base ODs, %d toggle records of %d ODs, cadence %d\n",
+		baseODs, 2*toggles, togSize, cadence)
+
+	uncompactedDir := filepath.Join(tmp, "uncompacted")
+	if _, err := populate(uncompactedDir, store.Options{SegmentBytes: segBytes}, false); err != nil {
+		return nil, err
+	}
+	uncompactedTime, uncompactedReplay, err := recoverTime(uncompactedDir)
+	if err != nil {
+		return nil, err
+	}
+
+	compactedDir := filepath.Join(tmp, "compacted")
+	lat, err := populate(compactedDir,
+		store.Options{SegmentBytes: segBytes, SnapshotEvery: cadence}, true)
+	if err != nil {
+		return nil, err
+	}
+	compactedTime, compactedReplay, err := recoverTime(compactedDir)
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) time.Duration { return lat[min(int(q*float64(len(lat))), len(lat)-1)] }
+	speedup := float64(uncompactedTime) / float64(max(compactedTime, 1))
+
+	fmt.Printf("%14s %14s %16s\n", "", "recovery", "records replayed")
+	fmt.Printf("%14s %14v %16d\n", "uncompacted", uncompactedTime, uncompactedReplay)
+	fmt.Printf("%14s %14v %16d\n", "compacted", compactedTime, compactedReplay)
+	fmt.Printf("recovery speedup: %.1fx\n", speedup)
+	fmt.Printf("mutation latency with compactions firing: p50 %v, p99 %v, max %v\n",
+		p(0.50), p(0.99), lat[len(lat)-1])
+	if speedup < 2 {
+		// A warning, not an error: CI evaluates the JSON, humans the text.
+		fmt.Printf("WARNING: recovery speedup below the expected 2x floor\n")
+	}
+
+	return &benchResult{
+		Experiment: "recovery",
+		Params: map[string]any{
+			"base_ods": baseODs, "toggle_records": 2 * toggles, "toggle_size": togSize,
+			"records": records, "cadence": cadence, "segment_bytes": segBytes, "tail": tail,
+		},
+		Metrics: []metric{
+			{Name: "uncompacted/recovery", Value: float64(uncompactedTime.Nanoseconds()), Unit: "ns"},
+			{Name: "uncompacted/replayed", Value: float64(uncompactedReplay), Unit: "count"},
+			{Name: "compacted/recovery", Value: float64(compactedTime.Nanoseconds()), Unit: "ns"},
+			{Name: "compacted/replayed", Value: float64(compactedReplay), Unit: "count"},
+			{Name: "recovery_speedup", Value: speedup, Unit: "x"},
+			{Name: "mutation_p50", Value: float64(p(0.50).Nanoseconds()), Unit: "ns"},
+			{Name: "mutation_p99", Value: float64(p(0.99).Nanoseconds()), Unit: "ns"},
+			{Name: "mutation_max", Value: float64(lat[len(lat)-1].Nanoseconds()), Unit: "ns"},
 		},
 	}, nil
 }

@@ -11,6 +11,7 @@
 //	odserve -addr :8080
 //	odserve -addr :8080 -ods constraints.txt -memo 65536
 //	odserve -addr :8080 -data-dir /var/lib/odserve -snapshot-every 1024
+//	odserve -addr :8080 -data-dir /var/lib/odserve -wal-segment-bytes 1048576 -wal-segment-records 4096
 //	odserve -addr :8080 -data-dir /var/lib/odserve -fsync=false -shard-by-prefix
 //	odserve -addr :8080 -prove-workers 8 -prove-timeout 2s
 //
@@ -70,8 +71,10 @@ func run(args []string, ready chan<- string) (err error) {
 	maxAttrs := fs.Int("maxattrs", prover.DefaultMaxAttrs, "attribute limit per implication question")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	dataDir := fs.String("data-dir", "", "root of per-shard WAL+snapshot state; empty runs in-memory")
-	snapshotEvery := fs.Int("snapshot-every", 1024, "automatic snapshot after this many WAL records per shard; 0 = manual only")
+	snapshotEvery := fs.Int("snapshot-every", 1024, "nudge the background compactor after this many WAL records per shard; 0 = manual (POST /snapshot) only")
 	fsync := fs.Bool("fsync", true, "fsync every WAL group commit before acknowledging")
+	segmentBytes := fs.Int64("wal-segment-bytes", store.DefaultSegmentBytes, "seal and rotate the active WAL segment at this size; <0 disables size-based rotation")
+	segmentRecords := fs.Int("wal-segment-records", 0, "seal and rotate the active WAL segment after this many records; 0 = size-based only")
 	shardByPrefix := fs.Bool("shard-by-prefix", false, "derive shard keys from attribute-name prefixes (before the first underscore)")
 	proveWorkers := fs.Int("prove-workers", runtime.GOMAXPROCS(0), "goroutines per pattern search; 1 = sequential")
 	proveTimeout := fs.Duration("prove-timeout", 0, "server-side bound on each prove/rewrite search; 0 = unbounded")
@@ -81,7 +84,12 @@ func run(args []string, ready chan<- string) (err error) {
 
 	rt, err := router.Open(router.Options{
 		DataDir: *dataDir,
-		Store:   store.Options{Fsync: *fsync, SnapshotEvery: *snapshotEvery},
+		Store: store.Options{
+			Fsync:          *fsync,
+			SnapshotEvery:  *snapshotEvery,
+			SegmentBytes:   *segmentBytes,
+			SegmentRecords: *segmentRecords,
+		},
 		Catalog: []catalog.Option{
 			catalog.WithMemoCapacity(*memo),
 			catalog.WithMaxAttrs(*maxAttrs),

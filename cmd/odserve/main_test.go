@@ -126,7 +126,10 @@ func TestDaemonLifecycle(t *testing.T) {
 // WAL path).
 func TestWarmStartRestart(t *testing.T) {
 	dataDir := t.TempDir()
-	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-drain", "2s", "-snapshot-every", "4"}
+	// Tiny segments force WAL rotation across the handful of mutations, so
+	// the warm start exercises multi-segment recovery, not just one file.
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-drain", "2s",
+		"-snapshot-every", "4", "-wal-segment-records", "2"}
 
 	base, done := startDaemon(t, args...)
 	postJSON(t, base+"/ods", `{"statements": ["[month] -> [quarter]", "[week] -> [month]"]}`, nil)

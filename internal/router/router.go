@@ -189,9 +189,24 @@ func (r *Router) openShard(name string) (*Shard, error) {
 		}
 		sh.st = st
 		sh.nextApply = st.Seq() + 1
+		// The store compacts in the background from the shard's durably
+		// applied state; the apply path only ever nudges it.
+		st.StartCompactor(sh.appliedState)
 	}
 	r.shards[name] = sh
 	return sh, nil
+}
+
+// appliedState is the shard's snapshot source: the last applied sequence
+// number and the declared set at exactly that point, read atomically under
+// the apply lock. The compactor calls it at the start of every compaction;
+// holding applyMu for the duration of the Declared copy is the only moment
+// compaction and the writer path share a lock — snapshot serialization and
+// file I/O all happen outside it.
+func (sh *Shard) appliedState() (uint64, []core.OD) {
+	sh.applyMu.Lock()
+	defer sh.applyMu.Unlock()
+	return sh.nextApply - 1, sh.cat.Declared()
 }
 
 // shard returns an existing shard, or nil.
@@ -324,7 +339,6 @@ type stagedMutation struct {
 
 	pending *store.Pending
 	seq     uint64
-	due     bool // automatic snapshot threshold crossed at staging time
 }
 
 // stage appends the batch to the shard's WAL under the shard mutex without
@@ -345,11 +359,11 @@ func (sh *Shard) stage(declares, removes []core.OD) (*stagedMutation, MutationRe
 		added, removed, st := sh.cat.Apply(muts)
 		return nil, MutationResult{Schema: sh.name, Added: added, Removed: removed, Stats: st}, nil
 	}
-	pending, seq, due, err := sh.st.AppendBatch(declares, removes)
+	pending, seq, err := sh.st.AppendBatch(declares, removes)
 	if err != nil {
 		return nil, MutationResult{}, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
 	}
-	return &stagedMutation{sh: sh, muts: muts, pending: pending, seq: seq, due: due}, MutationResult{}, nil
+	return &stagedMutation{sh: sh, muts: muts, pending: pending, seq: seq}, MutationResult{}, nil
 }
 
 // wait blocks until the staged batch is durable, then applies it to the
@@ -369,15 +383,10 @@ func (m *stagedMutation) wait() (MutationResult, error) {
 		sh.applyCond.Wait()
 	}
 	added, removed, st := sh.cat.Apply(m.muts)
-	if m.due {
-		// Inline snapshot while holding the apply ticket: the declared list
-		// is exactly the durable state at seq. The store refuses with
-		// ErrStale when a later record is already staged — that record's
-		// own due snapshot will cover this one — and remembers real
-		// failures in its stats; the mutation's fate is unaffected either
-		// way, the WAL keeps everything a snapshot failure fails to compact.
-		_ = sh.st.Snapshot(m.seq, sh.cat.Declared())
-	}
+	// No snapshot I/O here — ever. The store's background compactor owns
+	// snapshots and is nudged (asynchronously) by the append itself when
+	// the cadence threshold crosses; the apply ticket is released the
+	// moment the catalog publish finishes.
 	sh.nextApply = m.seq + 1
 	sh.applyCond.Broadcast()
 	return MutationResult{Schema: sh.name, Added: added, Removed: removed, Seq: m.seq, Stats: st}, nil
@@ -590,8 +599,15 @@ func (r *Router) SchemaForList(explicit string, l core.List) (string, error) {
 	return r.SchemaFor(explicit, []core.OD{{LHS: l}})
 }
 
-// ShardStats is one shard's health summary.
+// ShardStats is one shard's health summary. OK is false when the shard is
+// degraded — its WAL carries a sticky failure (mutations are rejected) or
+// its last snapshot/compaction failed (the log compacts no more and
+// recovery time grows unboundedly) — and Reason then names the failing
+// component, so an orchestrator reads the per-shard verdict without
+// diffing raw counters.
 type ShardStats struct {
+	OK      bool          `json:"ok"`
+	Reason  string        `json:"reason,omitempty"`
 	Catalog catalog.Stats `json:"catalog"`
 	Store   *store.Stats  `json:"store,omitempty"`
 }
@@ -604,31 +620,53 @@ func (r *Router) Stats() map[string]ShardStats {
 		if sh == nil {
 			continue
 		}
-		ss := ShardStats{Catalog: sh.cat.Stats()}
+		ss := ShardStats{OK: true, Catalog: sh.cat.Stats()}
 		if sh.st != nil {
 			st := sh.st.Stats()
 			ss.Store = &st
+			switch {
+			case st.WALError != "":
+				ss.OK, ss.Reason = false, "wal: "+st.WALError
+			case st.SnapshotError != "":
+				ss.OK, ss.Reason = false, "snapshot: "+st.SnapshotError
+			case st.CompactionError != "":
+				ss.OK, ss.Reason = false, "compaction: "+st.CompactionError
+			}
 		}
 		out[name] = ss
 	}
 	return out
 }
 
-// SnapshotResult reports one shard's admin-triggered snapshot.
-type SnapshotResult struct {
-	Seq      int `json:"seq"`
-	Declared int `json:"declared"`
+// ShardStore exposes the named shard's durability store — nil for absent or
+// ephemeral shards. Admin and fault-drill access (health tests kill a
+// shard's WAL through it and assert the degraded flip).
+func (r *Router) ShardStore(schema string) *store.Store {
+	if sh := r.shard(schema); sh != nil {
+		return sh.st
+	}
+	return nil
 }
 
-// SnapshotAll forces a snapshot on every durable shard, returning per-shard
-// results. Ephemeral shards are skipped.
+// SnapshotResult reports one shard's admin-triggered compaction: the
+// snapshot cut point, the ODs it captured, and how many fully covered WAL
+// segments were deleted.
+type SnapshotResult struct {
+	Seq             int `json:"seq"`
+	Declared        int `json:"declared"`
+	SegmentsRemoved int `json:"segmentsRemoved"`
+}
+
+// SnapshotAll nudges every durable shard's compactor and waits for each
+// pass to finish, returning per-shard results. Ephemeral shards are
+// skipped. Writers are never blocked: compaction snapshots off the apply
+// path by design.
 func (r *Router) SnapshotAll() (map[string]SnapshotResult, error) {
 	return r.snapshotNames(r.ShardNames())
 }
 
-// SnapshotOne forces a snapshot on the named shard alone — the default
-// shard when schema is empty, which SnapshotAll cannot address
-// individually.
+// SnapshotOne compacts the named shard alone — the default shard when
+// schema is empty, which SnapshotAll cannot address individually.
 func (r *Router) SnapshotOne(schema string) (map[string]SnapshotResult, error) {
 	if err := ValidSchema(schema); err != nil {
 		return nil, err
@@ -643,37 +681,33 @@ func (r *Router) snapshotNames(names []string) (map[string]SnapshotResult, error
 		if sh == nil || sh.st == nil {
 			continue
 		}
-		res, err := sh.snapshotNow()
+		res, err := sh.compactNow()
 		if err != nil {
-			return nil, fmt.Errorf("router: snapshot of shard %q: %w", name, err)
+			return nil, fmt.Errorf("router: compacting shard %q: %w", name, err)
 		}
 		out[name] = res
 	}
 	return out, nil
 }
 
-// snapshotNow snapshots the shard's durable-applied state. It waits for
-// every record staged so far to apply (or be skipped), then snapshots at
-// the applied watermark; under a steady stream of concurrent writes the
-// watermark keeps moving — the store refuses stale seqs — so it retries a
-// few times before reporting the contention.
-func (sh *Shard) snapshotNow() (SnapshotResult, error) {
-	var err error
-	for attempt := 0; attempt < 4; attempt++ {
-		staged := sh.st.Seq()
-		sh.applyMu.Lock()
-		for sh.nextApply <= staged {
-			sh.applyCond.Wait()
-		}
-		applied := sh.nextApply - 1
-		declared := sh.cat.Declared()
-		err = sh.st.Snapshot(applied, declared)
-		sh.applyMu.Unlock()
-		if !errors.Is(err, store.ErrStale) {
-			return SnapshotResult{Seq: int(applied), Declared: len(declared)}, err
-		}
+// compactNow waits until every record staged so far has applied (or been
+// skipped) — so the admin nudge compacts at least up to the caller's write
+// horizon — then runs one synchronous compaction. Concurrent writers keep
+// writing throughout; records landing after the watermark read simply stay
+// in the log for the next pass.
+func (sh *Shard) compactNow() (SnapshotResult, error) {
+	staged := sh.st.Seq()
+	sh.applyMu.Lock()
+	for sh.nextApply <= staged {
+		sh.applyCond.Wait()
 	}
-	return SnapshotResult{}, err
+	sh.applyMu.Unlock()
+	res, err := sh.st.CompactNow()
+	return SnapshotResult{
+		Seq:             int(res.Seq),
+		Declared:        res.Declared,
+		SegmentsRemoved: res.SegmentsRemoved,
+	}, err
 }
 
 // Close closes every shard's store.

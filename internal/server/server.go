@@ -560,9 +560,13 @@ type snapshotResponse struct {
 	Shards map[string]router.SnapshotResult `json:"shards"`
 }
 
-// handleSnapshot force-snapshots durable shards: all of them, or the one
-// named by body/query (?schema= with an empty value addresses the default
-// shard). On an ephemeral daemon it answers with zero shards.
+// handleSnapshot nudges the background compactor of durable shards — all of
+// them, or the one named by body/query (?schema= with an empty value
+// addresses the default shard) — and waits for each pass to complete:
+// snapshot at the applied watermark, then deletion of the WAL segments the
+// snapshot fully covers. Writers are never stalled; concurrent mutations
+// simply stay in the log for the next pass. On an ephemeral daemon it
+// answers with zero shards.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// Unlike the other handlers, an absent body is meaningful here ("all
 	// shards"), so io.EOF reads as no selector — covering empty sized and
@@ -631,11 +635,12 @@ type healthzResponse struct {
 
 // handleHealthz reports per-shard state — including the verdict tier hit
 // counters and search parallelism/effort, totalled across shards so an
-// operator can read the fast-path economics off one scrape. OK turns false
-// when any shard's WAL has a sticky failure (that shard rejects mutations)
-// or its last snapshot failed (the WAL compacts no more and recovery time
-// grows unboundedly) — an orchestrator must see both without scraping
-// per-shard fields.
+// operator can read the fast-path economics off one scrape. Each shard
+// carries its own ok/reason verdict (computed by the router: sticky WAL
+// failure → mutations rejected; snapshot or compaction failure → the log
+// compacts no more and recovery time grows unboundedly); the top-level OK
+// is the conjunction, so an orchestrator sees unhealth without scraping
+// per-shard fields — and the reason without diffing counters.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{OK: true, Shards: s.rt.Stats()}
 	resp.Totals.Shards = len(resp.Shards)
@@ -651,7 +656,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Totals.Searches += st.Catalog.Prover.Searches
 		resp.Totals.Nodes += st.Catalog.Prover.Nodes
 		resp.Totals.Cancelled += st.Catalog.Prover.Cancelled
-		if st.Store != nil && (st.Store.WALError != "" || st.Store.SnapshotError != "") {
+		if !st.OK {
 			resp.OK = false
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -455,5 +456,69 @@ func TestConcurrentTraffic(t *testing.T) {
 	}
 	if health.Totals.Shards != 4 { // default + shard0..2
 		t.Fatalf("shards after traffic = %+v", health.Totals)
+	}
+}
+
+// TestHealthzFlipsOnWALFailure kills one shard's WAL behind a live daemon
+// and asserts the contract the store documents ("health checks must see
+// that"): /healthz answers 503, the top-level ok flips false, and the dead
+// shard carries ok=false with a reason naming the WAL — while reads keep
+// serving and healthy shards stay ok.
+func TestHealthzFlipsOnWALFailure(t *testing.T) {
+	rt, err := router.Open(router.Options{
+		DataDir: t.TempDir(),
+		Store:   store.Options{Fsync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(rt))
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Close()
+	})
+	for _, schema := range []string{"sick", "well"} {
+		code := call(t, ts, "POST", "/ods", map[string]any{
+			"schema": schema, "statements": []string{"[a] -> [b]"},
+		}, nil)
+		if code != 200 {
+			t.Fatalf("declare on %s = %d", schema, code)
+		}
+	}
+	var health healthz
+	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 || !health.OK {
+		t.Fatalf("pre-failure healthz = %d %+v", code, health)
+	}
+
+	rt.ShardStore("sick").FailWAL(fmt.Errorf("drill: disk died"))
+	// The flip must be visible on the very next scrape — no mutation needed
+	// to trip it first.
+	if code := call(t, ts, "GET", "/healthz", nil, &health); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after WAL death = %d, want 503", code)
+	}
+	if health.OK {
+		t.Fatal("top-level ok still true with a dead shard WAL")
+	}
+	sick, ok := health.Shards["sick"]
+	if !ok || sick.OK || !strings.Contains(sick.Reason, "wal") {
+		t.Fatalf("sick shard verdict = %+v, want ok=false with a wal reason", sick)
+	}
+	if well := health.Shards["well"]; !well.OK || well.Reason != "" {
+		t.Fatalf("healthy shard dragged down: %+v", well)
+	}
+
+	// Mutations on the dead shard fail loudly; reads still answer.
+	if code := call(t, ts, "POST", "/ods", map[string]any{
+		"schema": "sick", "statements": []string{"[b] -> [c]"},
+	}, nil); code != http.StatusInternalServerError {
+		t.Fatalf("mutation on dead-WAL shard = %d, want 500", code)
+	}
+	var prove struct {
+		Implied bool `json:"implied"`
+	}
+	if code := call(t, ts, "POST", "/prove", map[string]any{
+		"schema": "sick", "statement": "[a] -> [b]",
+	}, &prove); code != 200 || !prove.Implied {
+		t.Fatalf("read on degraded shard = %d %+v", code, prove)
 	}
 }

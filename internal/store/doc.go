@@ -1,20 +1,29 @@
-// Package store is the durability subsystem of the OD constraint catalog: an
-// append-only write-ahead log of declare/remove records plus periodic
-// snapshots of the declared set, giving a catalog shard crash recovery with
-// no lost acknowledged mutation.
+// Package store is the durability subsystem of the OD constraint catalog: a
+// segmented append-only write-ahead log of declare/remove records plus
+// background-compacted snapshots of the declared set, giving a catalog shard
+// crash recovery with no lost acknowledged mutation — and no snapshot I/O on
+// the writer path.
 //
 // The paper treats declared ODs as schema constraints a DBMS consults on
 // every query (Sections 2.3 and 6); a constraint catalog that evaporates on
 // restart cannot play that role. The layout per shard directory:
 //
-//	wal.log        length-prefixed JSON frames, one per mutation batch
-//	snapshot.json  latest snapshot {seq, ods}, replaced by atomic rename
+//	wal-000001.log  length-prefixed JSON frames, one per mutation batch
+//	wal-000002.log  … appends go to the highest-index (active) segment
+//	snapshot.json   latest snapshot {seq, ods}, replaced by atomic rename
+//	wal.log         pre-segment log of upgraded deployments, read once
 //
 // Frame format: 4-byte little-endian payload length, 4-byte little-endian
-// CRC32 (IEEE) of the payload, then the JSON payload. On open the log is
-// scanned sequentially; the first short, corrupt or CRC-mismatched frame
-// marks a torn tail — everything from there on is truncated away, which is
-// exactly the prefix-consistency a crashed group commit can leave behind.
+// CRC32 (IEEE) of the payload, then the JSON payload. The active segment
+// seals and rotates at a size/record threshold; sealed segments are
+// immutable, and sealing always fsyncs (even with per-commit fsync off) so
+// the hard errors below are sound. On open the segments are scanned in log
+// order; a short, corrupt
+// or CRC-mismatched frame in the LAST segment marks a torn tail — truncated
+// away, the prefix-consistency a crashed group commit can leave behind — but
+// the same damage mid-log, or a sequence gap past the snapshot (a missing
+// middle segment), is a hard error: acknowledged records are gone and
+// recovering around the hole would serve a state that never existed.
 //
 // Appends are acknowledged through a group-commit goroutine: writers stage
 // frames into the current batch and wait; the committer writes the whole
@@ -22,4 +31,13 @@
 // every waiter. Under concurrent load the fsync cost amortizes across all
 // writers of a batch. A mutation is acknowledged to clients only after its
 // batch is durable.
+//
+// Compaction runs on a dedicated goroutine per store, nudged every
+// SnapshotEvery records or synchronously via CompactNow: it reads the
+// durably-applied state from the Source the owner registered
+// (StartCompactor), writes the snapshot via temp-file + atomic rename, and
+// deletes the sealed segments the snapshot fully covers (rotating the
+// active segment first when it, too, is covered). Writers never wait on any
+// of it — the old design serialized a full snapshot write inside the apply
+// path, stalling every later writer on the shard.
 package store

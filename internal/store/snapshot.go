@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"odlib/internal/core"
 )
@@ -25,7 +26,9 @@ type Snapshot struct {
 // writeSnapshot durably replaces the shard's snapshot: marshal, write and
 // fsync a temp file, rename it over the live name, fsync the directory. A
 // crash at any point leaves either the old or the new snapshot intact —
-// never a partial one.
+// never a partial one. A failed write removes its temp file instead of
+// leaving it to rot in the shard directory (recovery additionally sweeps
+// any *.tmp a crash stranded).
 func writeSnapshot(dir string, snap Snapshot) error {
 	b, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
@@ -39,19 +42,43 @@ func writeSnapshot(dir string, snap Snapshot) error {
 	}
 	if _, err := f.Write(append(b, '\n')); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	return syncDir(dir)
+}
+
+// sweepTemp removes orphaned *.tmp files that a crash between a snapshot's
+// temp write and its rename stranded in the shard directory. Runs during
+// recovery, before anything else reads the directory — temp files are by
+// contract incomplete, so deleting them can never lose durable state.
+func sweepTemp(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // loadSnapshot reads the shard's snapshot; ok is false when none exists yet.

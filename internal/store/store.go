@@ -10,22 +10,33 @@ import (
 	"odlib/internal/core"
 )
 
-// ErrStale reports a Snapshot request whose seq is no longer the last staged
-// record: a concurrent append has already claimed a later sequence number,
-// and snapshotting (which resets the WAL) would drop that record from the
-// log before it reaches any snapshot. Callers treat it as "try again with a
-// fresher seq", not as a failure.
-var ErrStale = errors.New("store: snapshot seq is stale")
+// DefaultSegmentBytes is the size at which an active WAL segment seals and
+// rotates when Options.SegmentBytes is zero. Large enough that steady
+// interactive traffic rarely rotates, small enough that a compaction after
+// a declare burst reclaims disk in file-sized steps.
+const DefaultSegmentBytes = 4 << 20
 
 // Options configures a shard store.
 type Options struct {
 	// Fsync makes every group commit fsync before acknowledging. Disabling
 	// it trades crash durability (not consistency — recovery still truncates
-	// to a valid prefix) for throughput.
+	// to a valid prefix) for throughput. Segment seals, snapshots and
+	// recovery-time truncations always fsync regardless: sealed segments
+	// must survive power loss, because recovery hard-errors on sealed
+	// damage instead of truncating it away.
 	Fsync bool
-	// SnapshotEvery requests an automatic snapshot after that many appended
-	// records; 0 leaves snapshots to explicit Snapshot calls.
+	// SnapshotEvery nudges the background compactor after that many appended
+	// records since the last durable snapshot; 0 leaves compaction to
+	// explicit CompactNow calls. The nudge is asynchronous — the apply path
+	// never writes a snapshot.
 	SnapshotEvery int
+	// SegmentBytes seals and rotates the active WAL segment once it reaches
+	// this size; 0 means DefaultSegmentBytes, negative disables size-based
+	// rotation.
+	SegmentBytes int64
+	// SegmentRecords seals and rotates the active WAL segment once it holds
+	// this many records; 0 disables record-based rotation.
+	SegmentRecords int
 }
 
 // Recovery describes what Open found: how the current in-memory state was
@@ -36,61 +47,111 @@ type Recovery struct {
 	SnapshotODs int    `json:"snapshotOds"`
 	Replayed    int    `json:"replayedRecords"`
 	TornBytes   int64  `json:"tornBytes"`
+	Segments    int    `json:"segments"`
 }
 
-// Stats is a point-in-time summary of a shard store. WALError carries the
-// sticky write/sync failure when the log is dead — the shard still serves
-// reads from memory but rejects mutations, and health checks must see that.
+// Stats is a point-in-time summary of a shard store, read consistently
+// under the store's mutex (seq and the WAL counters come from one critical
+// section, so a scrape can never see walRecords ahead of seq mid-append).
+// WALError carries the sticky write/sync failure when the log is dead — the
+// shard still serves reads from memory but rejects mutations, and health
+// checks must see that. SnapshotError and CompactionError carry the last
+// background-compaction failure (snapshot write, or covered-segment
+// deletion), cleared by the next success.
 type Stats struct {
-	Seq           uint64   `json:"seq"`
-	SnapshotSeq   uint64   `json:"snapshotSeq"`
-	SinceSnapshot int      `json:"recordsSinceSnapshot"`
-	WALBytes      int64    `json:"walBytes"`
-	WALRecords    uint64   `json:"walRecords"`
-	CommitBatches uint64   `json:"commitBatches"`
-	Snapshots     uint64   `json:"snapshots"`
-	WALError      string   `json:"walError,omitempty"`
-	SnapshotError string   `json:"snapshotError,omitempty"`
-	Recovery      Recovery `json:"recovery"`
+	Seq             uint64   `json:"seq"`
+	SnapshotSeq     uint64   `json:"snapshotSeq"`
+	SinceSnapshot   int      `json:"recordsSinceSnapshot"`
+	WALBytes        int64    `json:"walBytes"`
+	WALRecords      uint64   `json:"walRecords"`
+	WALSegments     int      `json:"walSegments"`
+	CommitBatches   uint64   `json:"commitBatches"`
+	Rotations       uint64   `json:"rotations"`
+	Snapshots       uint64   `json:"snapshots"`
+	SegmentsRemoved uint64   `json:"segmentsRemoved"`
+	WALError        string   `json:"walError,omitempty"`
+	SnapshotError   string   `json:"snapshotError,omitempty"`
+	CompactionError string   `json:"compactionError,omitempty"`
+	Recovery        Recovery `json:"recovery"`
 }
 
-// Store is the durability engine of one catalog shard: a WAL for every
-// mutation plus a rotating snapshot. It hands recovered state back to the
-// caller at Open and afterwards only appends; the caller (internal/router)
-// owns the catalog the records apply to and serializes mutations so WAL
-// order equals apply order.
+// Source reports the durably-applied state a snapshot captures: the last
+// applied sequence number and the declared OD set at exactly that seq. The
+// router supplies one per shard; the compactor calls it at the start of
+// every compaction. It must be cheap — it runs under the shard's apply lock
+// on the router side — and must never call back into the store.
+type Source func() (seq uint64, ods []core.OD)
+
+// CompactionResult reports one compaction: the snapshot cut point, how many
+// ODs it captured, and how many fully covered segments were deleted.
+type CompactionResult struct {
+	Seq             uint64
+	Declared        int
+	SegmentsRemoved int
+}
+
+// Store is the durability engine of one catalog shard: a segmented WAL for
+// every mutation plus a background-compacted snapshot. It hands recovered
+// state back to the caller at Open and afterwards only appends; the caller
+// (internal/router) owns the catalog the records apply to and serializes
+// mutations so WAL order equals apply order. Snapshots are written solely
+// by the compactor goroutine — the append/apply path never performs
+// snapshot I/O, so a snapshot in progress stalls no writer.
 type Store struct {
 	dir string
 	wal *wal
 	opt Options
+
+	// compactMu serializes compactions: the background loop and synchronous
+	// CompactNow callers take turns, so two snapshot writes never race.
+	compactMu sync.Mutex
 
 	mu            sync.Mutex
 	seq           uint64 // last assigned sequence number
 	snapshotSeq   uint64
 	sinceSnapshot int
 	snapshots     uint64
-	snapshotErr   error // last snapshot failure; cleared by a success
+	snapshotErr   error // last snapshot-write failure; cleared by a success
+	compactErr    error // last covered-segment deletion failure; cleared by a success
 	recovery      Recovery
+	src           Source
+
+	compactKick chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
+	started     bool
 }
 
-// Open recovers a shard store from dir (created if absent): load the latest
-// snapshot, then scan the WAL — truncating any torn tail — and return the
+// Open recovers a shard store from dir (created if absent): sweep stranded
+// temp files, load the latest snapshot, then scan the WAL segments in log
+// order — truncating a torn tail in the last segment only — and return the
 // records with sequence numbers after the snapshot, in log order. The caller
 // applies the snapshot ODs and then the records to an empty catalog, without
 // re-logging either (catalog.Apply), to reach exactly the pre-crash state.
+//
+// A gap in the surviving record sequence past the snapshot is a hard error:
+// compaction deletes only snapshot-covered segment prefixes, so a missing
+// middle segment means acknowledged mutations are gone and recovering
+// around the hole would silently serve a state that never existed.
 func Open(dir string, opt Options) (*Store, Snapshot, []Record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Snapshot{}, nil, err
+	}
+	if opt.SegmentBytes == 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := sweepTemp(dir); err != nil {
 		return nil, Snapshot{}, nil, err
 	}
 	snap, _, err := loadSnapshot(dir)
 	if err != nil {
 		return nil, Snapshot{}, nil, err
 	}
-	w, recs, torn, err := openWAL(filepath.Join(dir, "wal.log"), opt.Fsync)
+	w, recs, torn, err := openSegments(dir, opt)
 	if err != nil {
 		return nil, Snapshot{}, nil, err
 	}
-	// Make the (possibly just created) shard directory and wal.log entry
+	// Make the (possibly just created) shard directory and segment entries
 	// durable: file fsyncs cover contents, not the directory entries naming
 	// them — without this, a power cut after the first acknowledged append
 	// on a fresh shard could lose the whole log file.
@@ -103,14 +164,23 @@ func Open(dir string, opt Options) (*Store, Snapshot, []Record, error) {
 		return nil, Snapshot{}, nil, err
 	}
 	// Replay strictly after the snapshot: a crash between snapshot rename
-	// and WAL reset legitimately leaves covered records in the log.
+	// and segment deletion legitimately leaves covered records in the log
+	// (possibly with gaps — deletions may partially survive a crash). Past
+	// the snapshot, the sequence must be airtight.
 	replay := recs[:0:0]
 	seq := snap.Seq
 	for _, rec := range recs {
-		if rec.Seq > seq {
-			replay = append(replay, rec)
-			seq = rec.Seq
+		if rec.Seq <= snap.Seq {
+			continue
 		}
+		if rec.Seq != seq+1 {
+			w.close()
+			return nil, Snapshot{}, nil, fmt.Errorf(
+				"store: WAL record gap in %s: expected seq %d, found %d — a middle segment is missing or lost",
+				dir, seq+1, rec.Seq)
+		}
+		replay = append(replay, rec)
+		seq = rec.Seq
 	}
 	s := &Store{
 		dir:           dir,
@@ -119,27 +189,30 @@ func Open(dir string, opt Options) (*Store, Snapshot, []Record, error) {
 		seq:           seq,
 		snapshotSeq:   snap.Seq,
 		sinceSnapshot: len(replay),
+		compactKick:   make(chan struct{}, 1),
 		recovery: Recovery{
 			SnapshotSeq: snap.Seq,
 			SnapshotODs: len(snap.ODs),
 			Replayed:    len(replay),
 			TornBytes:   torn,
+			Segments:    len(w.sealed) + 1,
 		},
 	}
 	return s, snap, replay, nil
 }
 
 // Append logs one mutation batch, assigning it the next sequence number, and
-// returns a Pending handle plus whether the automatic snapshot threshold has
-// been crossed. The caller must Wait on the handle before acknowledging the
-// mutation, and should call Snapshot soon when snapshotDue is true.
-func (s *Store) Append(op Op, ods []core.OD) (p *Pending, seq uint64, snapshotDue bool, err error) {
+// returns a Pending handle. The caller must Wait on the handle before
+// acknowledging the mutation. When the records-since-snapshot threshold is
+// crossed the background compactor is nudged — asynchronously; the append
+// itself never snapshots.
+func (s *Store) Append(op Op, ods []core.OD) (p *Pending, seq uint64, err error) {
 	return s.appendRecord(Record{Op: op, ODs: ods})
 }
 
 // AppendBatch logs declares and removes as ONE record in one frame, so the
 // pair commits or fails atomically — never half of it.
-func (s *Store) AppendBatch(declares, removes []core.OD) (p *Pending, seq uint64, snapshotDue bool, err error) {
+func (s *Store) AppendBatch(declares, removes []core.OD) (p *Pending, seq uint64, err error) {
 	switch {
 	case len(removes) == 0:
 		return s.appendRecord(Record{Op: OpDeclare, ODs: declares})
@@ -150,18 +223,25 @@ func (s *Store) AppendBatch(declares, removes []core.OD) (p *Pending, seq uint64
 	}
 }
 
-func (s *Store) appendRecord(rec Record) (p *Pending, seq uint64, snapshotDue bool, err error) {
+func (s *Store) appendRecord(rec Record) (p *Pending, seq uint64, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rec.Seq = s.seq + 1
 	p, err = s.wal.append(rec)
 	if err != nil {
-		return nil, 0, false, err
+		s.mu.Unlock()
+		return nil, 0, err
 	}
 	s.seq = rec.Seq
 	s.sinceSnapshot++
-	snapshotDue = s.opt.SnapshotEvery > 0 && s.sinceSnapshot >= s.opt.SnapshotEvery
-	return p, rec.Seq, snapshotDue, nil
+	nudge := s.started && s.opt.SnapshotEvery > 0 && s.sinceSnapshot >= s.opt.SnapshotEvery
+	s.mu.Unlock()
+	if nudge {
+		select {
+		case s.compactKick <- struct{}{}:
+		default:
+		}
+	}
+	return p, rec.Seq, nil
 }
 
 // Seq returns the last assigned sequence number.
@@ -171,73 +251,161 @@ func (s *Store) Seq() uint64 {
 	return s.seq
 }
 
-// Snapshot durably writes ods as the state at seq and resets the WAL. The
-// caller must guarantee that ods is exactly the catalog state after applying
-// every record up to seq. Appends are excluded for the duration by the
-// store's own lock, and a seq that is no longer the last staged record is
-// refused with ErrStale — resetting the WAL then would silently drop the
-// staged records past seq. Writers on this shard stall while the snapshot
-// writes, readers are unaffected.
-//
-// A snapshot failure is never a durability loss: the WAL is only reset
-// after the snapshot is fully durable, so on failure every record stays in
-// the log and recovery replays it. The failure is remembered in Stats
-// (SnapshotError) until a later snapshot succeeds; ErrStale is a skip, not
-// a failure, and is not remembered.
-func (s *Store) Snapshot(seq uint64, ods []core.OD) error {
+// StartCompactor wires the store's snapshot source and starts the background
+// compaction goroutine. Call once, after Open, before traffic; the source is
+// typically a closure over the owning shard's applied watermark and catalog.
+// Without a running compactor, appends never nudge and CompactNow errors.
+func (s *Store) StartCompactor(src Source) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if seq != s.seq {
-		return ErrStale
+	if s.started {
+		s.mu.Unlock()
+		panic("store: StartCompactor called twice")
 	}
-	err := s.trySnapshot(seq, ods)
-	s.snapshotErr = err
-	if err == nil {
-		s.snapshotSeq = seq
-		s.sinceSnapshot = 0
+	s.src = src
+	s.started = true
+	s.compactStop = make(chan struct{})
+	s.compactDone = make(chan struct{})
+	// Recovery may have replayed a backlog already past the cadence — a
+	// crash loop with sparse writes would otherwise never compact, since
+	// appends are the only other kick source.
+	due := s.opt.SnapshotEvery > 0 && s.sinceSnapshot >= s.opt.SnapshotEvery
+	s.mu.Unlock()
+	if due {
+		select {
+		case s.compactKick <- struct{}{}:
+		default:
+		}
+	}
+	go s.compactLoop()
+}
+
+func (s *Store) compactLoop() {
+	defer close(s.compactDone)
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-s.compactKick:
+			// Outcome lands in Stats (snapshots / snapshotError /
+			// compactionError); nobody is waiting on a background pass.
+			_, _ = s.compactOnce()
+		}
+	}
+}
+
+// CompactNow runs one full compaction synchronously — snapshot at the
+// source's applied watermark, rotate the active segment if the snapshot
+// fully covers it, delete covered segments — waiting for any in-flight
+// background pass first. This is the POST /snapshot admin nudge.
+func (s *Store) CompactNow() (CompactionResult, error) {
+	return s.compactOnce()
+}
+
+func (s *Store) compactOnce() (CompactionResult, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.Lock()
+	src := s.src
+	s.mu.Unlock()
+	if src == nil {
+		return CompactionResult{}, errors.New("store: no compactor source; call StartCompactor first")
+	}
+	cutSeq, ods := src()
+	res := CompactionResult{Seq: cutSeq, Declared: len(ods)}
+	// A durable snapshot at this exact cut already exists on a quiescent
+	// shard: skip the marshal+write+fsync, but still sweep segments below —
+	// a crash between an earlier snapshot and its deletions can leave
+	// covered segments behind.
+	s.mu.Lock()
+	skipWrite := cutSeq == s.snapshotSeq && s.snapshotErr == nil
+	s.mu.Unlock()
+	if !skipWrite {
+		if err := writeSnapshot(s.dir, Snapshot{Seq: cutSeq, ODs: ods}); err != nil {
+			err = fmt.Errorf("store: writing snapshot: %w", err)
+			s.mu.Lock()
+			s.snapshotErr = err
+			s.mu.Unlock()
+			return res, err
+		}
+		s.mu.Lock()
+		s.snapshotErr = nil
+		s.snapshotSeq = cutSeq
 		s.snapshots++
+		if s.seq > cutSeq {
+			s.sinceSnapshot = int(s.seq - cutSeq)
+		} else {
+			s.sinceSnapshot = 0
+		}
+		s.mu.Unlock()
 	}
-	return err
+	// The snapshot is durable; everything at or before cutSeq is redundant
+	// in the log. Seal the active segment too when it is fully covered, so
+	// a quiescent shard compacts down to an empty log.
+	s.wal.rotateForCompaction(cutSeq)
+	removed, err := s.wal.dropCovered(cutSeq)
+	res.SegmentsRemoved = removed
+	s.mu.Lock()
+	s.compactErr = err
+	s.mu.Unlock()
+	if err != nil {
+		return res, fmt.Errorf("store: deleting covered WAL segments: %w", err)
+	}
+	return res, nil
 }
 
-func (s *Store) trySnapshot(seq uint64, ods []core.OD) error {
-	if err := s.wal.flush(); err != nil {
-		return fmt.Errorf("store: flushing WAL before snapshot: %w", err)
+// FailWAL injects a sticky failure into the shard's WAL, as if its disk had
+// died mid-flight: future appends fail fast and Stats reports WALError. A
+// fault-injection hook for health-reporting drills — the daemon keeps
+// serving reads but must flag the shard degraded.
+func (s *Store) FailWAL(cause error) {
+	if cause == nil {
+		cause = errors.New("store: WAL failure injected")
 	}
-	if err := writeSnapshot(s.dir, Snapshot{Seq: seq, ODs: ods}); err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", err)
-	}
-	if err := s.wal.reset(); err != nil {
-		return fmt.Errorf("store: resetting WAL after snapshot: %w", err)
-	}
-	return nil
+	s.wal.poison(cause)
 }
 
-// Stats returns current counters.
+// Stats returns current counters as ONE consistent reading: the store mutex
+// is held across both the sequence bookkeeping and the WAL counters (lock
+// order store.mu → wal.mu, same as the append path), so a health scrape can
+// never observe walRecords ahead of seq from a half-staged append.
 func (s *Store) Stats() Stats {
-	size, records, batches, walErr := s.wal.stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ws := s.wal.stats()
 	st := Stats{
-		Seq:           s.seq,
-		SnapshotSeq:   s.snapshotSeq,
-		SinceSnapshot: s.sinceSnapshot,
-		WALBytes:      size,
-		WALRecords:    records,
-		CommitBatches: batches,
-		Snapshots:     s.snapshots,
-		Recovery:      s.recovery,
+		Seq:             s.seq,
+		SnapshotSeq:     s.snapshotSeq,
+		SinceSnapshot:   s.sinceSnapshot,
+		WALBytes:        ws.size,
+		WALRecords:      ws.records,
+		WALSegments:     ws.segments,
+		CommitBatches:   ws.batches,
+		Rotations:       ws.rotation,
+		Snapshots:       s.snapshots,
+		SegmentsRemoved: ws.removed,
+		Recovery:        s.recovery,
 	}
-	if walErr != nil {
-		st.WALError = walErr.Error()
+	if ws.err != nil {
+		st.WALError = ws.err.Error()
 	}
 	if s.snapshotErr != nil {
 		st.SnapshotError = s.snapshotErr.Error()
 	}
+	if s.compactErr != nil {
+		st.CompactionError = s.compactErr.Error()
+	}
 	return st
 }
 
-// Close flushes and closes the WAL.
+// Close stops the compactor, then flushes and closes the WAL.
 func (s *Store) Close() error {
+	s.mu.Lock()
+	started := s.started
+	s.started = false
+	s.mu.Unlock()
+	if started {
+		close(s.compactStop)
+		<-s.compactDone
+	}
 	return s.wal.close()
 }

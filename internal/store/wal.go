@@ -8,6 +8,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"odlib/internal/core"
@@ -50,34 +53,103 @@ const maxRecordBytes = 64 << 20
 // frameHeaderLen is the length + CRC prefix of every frame.
 const frameHeaderLen = 8
 
-// wal is the append-only log of one shard. Safe for concurrent Append; Flush
-// and Reset require the owner (the shard) to exclude concurrent Appends.
-type wal struct {
-	path  string
-	fsync bool
+// legacyWALName is the single-file log of pre-segment deployments. Recovery
+// reads it as the oldest (sealed) segment, so an upgraded daemon replays its
+// old log once and compaction eventually deletes it; nothing ever appends to
+// it again.
+const legacyWALName = "wal.log"
 
-	mu       sync.Mutex
-	f        *os.File
-	cur      *walBatch // accumulating batch, not yet picked up
-	inflight *walBatch // batch the committer is writing
-	err      error     // sticky write/sync failure
-	closed   bool
-	size     int64 // bytes of durable, valid frames
+// segmentName renders a segment file name; indexes are monotonic per shard
+// and zero-padded so lexicographic order equals log order.
+func segmentName(index uint64) string {
+	return fmt.Sprintf("wal-%06d.log", index)
+}
+
+// parseSegmentName extracts a segment index, reporting whether the name is a
+// segment file at all.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if digits == "" {
+		return 0, false
+	}
+	var idx uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		idx = idx*10 + uint64(c-'0')
+	}
+	return idx, true
+}
+
+// segment is the metadata of one log segment. firstSeq/lastSeq are zero
+// while the segment holds no records. Sealed segments are immutable on disk;
+// only the active (highest-index) segment ever takes appends.
+type segment struct {
+	index    uint64 // 0 only for the legacy single-file log
+	path     string
+	size     int64
 	records  uint64
-	batches  uint64
+	firstSeq uint64
+	lastSeq  uint64
+}
+
+// wal is the segmented append-only log of one shard. Appends go to the
+// active segment; when it crosses the size/record threshold the committer
+// seals it and rotates to a fresh file. Sealed segments are immutable, which
+// is what lets the background compactor delete the ones a durable snapshot
+// fully covers without ever touching the writer path.
+type wal struct {
+	dir        string
+	fsync      bool
+	segBytes   int64
+	segRecords uint64
+
+	// ioMu serializes every file operation — batch writes, sealing,
+	// rotation, the final close — so the committer and the compactor never
+	// interleave I/O on the active segment. Lock order: ioMu before mu.
+	ioMu sync.Mutex
+
+	mu        sync.Mutex
+	f         *os.File // active segment file; swapped only under ioMu
+	active    segment
+	sealed    []segment // ascending index order; compaction pops the front
+	cur       *walBatch // accumulating batch, not yet picked up
+	inflight  *walBatch // batch the committer is writing
+	err       error     // sticky write/sync/rotate failure
+	closed    bool
+	batches   uint64
+	rotations uint64
+	removed   uint64 // segments deleted by compaction over this wal's life
 
 	kick  chan struct{}
 	stopc chan struct{}
 	done  chan struct{}
 }
 
+// walStats is one consistent reading of the log's counters.
+type walStats struct {
+	size     int64
+	records  uint64
+	segments int
+	batches  uint64
+	rotation uint64
+	removed  uint64
+	err      error
+}
+
 // walBatch is one group commit: the concatenated frames of every writer that
 // staged while the committer was busy, released together.
 type walBatch struct {
-	buf  []byte
-	n    uint64 // records staged in buf
-	done chan struct{}
-	err  error
+	buf      []byte
+	n        uint64 // records staged in buf
+	firstSeq uint64
+	lastSeq  uint64
+	done     chan struct{}
+	err      error
 }
 
 // Pending is a staged append; Wait blocks until the containing group commit
@@ -95,45 +167,138 @@ func (p *Pending) Wait() error {
 	return p.b.err
 }
 
-// openWAL opens (creating if needed) the log at path, scans it for valid
-// records, truncates any torn tail, and starts the group-commit goroutine.
-// It returns the recovered records in log order and how many trailing bytes
-// were cut.
-func openWAL(path string, fsync bool) (*wal, []Record, int64, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// openSegments scans every log segment in dir in log order (legacy wal.log
+// first, then wal-NNNNNN.log ascending), truncates a torn tail in the LAST
+// segment only — the one a crash can legitimately tear — and reopens that
+// segment for appends (or creates a fresh one when none is appendable). A
+// torn frame in a sealed segment is a hard error: sealed segments are
+// written completely before the next one opens, so mid-log damage is disk
+// corruption, not a crash artifact. It returns the recovered records across
+// all segments in log order and how many trailing bytes were cut.
+func openSegments(dir string, opt Options) (*wal, []Record, int64, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	recs, goodOff, err := scanWAL(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, 0, err
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, nil, 0, err
-	}
-	torn := st.Size() - goodOff
-	if torn > 0 {
-		if err := f.Truncate(goodOff); err != nil {
-			f.Close()
-			return nil, nil, 0, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+	var segs []segment
+	legacy := false
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if e.Name() == legacyWALName {
+			legacy = true
+			continue
+		}
+		if idx, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segment{index: idx, path: filepath.Join(dir, e.Name())})
 		}
 	}
-	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, 0, err
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	if legacy {
+		segs = append([]segment{{index: 0, path: filepath.Join(dir, legacyWALName)}}, segs...)
 	}
+
+	// The highest-index numbered segment is reopened as the active one; the
+	// legacy log is never appended to again (it predates sealing, so leaving
+	// it sealed lets compaction retire it like any other covered segment).
+	activeAt := -1
+	if n := len(segs); n > 0 && segs[n-1].index > 0 {
+		activeAt = n - 1
+	}
+
+	var recs []Record
+	var torn int64
+	var activeFile *os.File
+	for i := range segs {
+		sg := &segs[i]
+		f, err := os.OpenFile(sg.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		srecs, goodOff, err := scanWAL(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		if leftover := st.Size() - goodOff; leftover > 0 {
+			if i != len(segs)-1 {
+				f.Close()
+				return nil, nil, 0, fmt.Errorf(
+					"store: sealed WAL segment %s carries %d torn bytes mid-log; segments seal only after complete writes, so this is corruption, not a crash artifact",
+					sg.path, leftover)
+			}
+			if err := f.Truncate(goodOff); err != nil {
+				f.Close()
+				return nil, nil, 0, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+			}
+			torn = leftover
+		}
+		sg.size = goodOff
+		sg.records = uint64(len(srecs))
+		if len(srecs) > 0 {
+			sg.firstSeq = srecs[0].Seq
+			sg.lastSeq = srecs[len(srecs)-1].Seq
+		}
+		recs = append(recs, srecs...)
+		// Re-establish the durability barrier every segment rests on: what
+		// the scan just saw — including a fresh torn-tail truncation — must
+		// survive power loss, because a segment left behind as sealed (the
+		// legacy wal.log especially, which nothing ever syncs again) makes
+		// later recoveries hard-error on any damage. Clean pages make this
+		// fsync a no-op; a resurrected torn tail would make it a permanent
+		// startup failure.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: fsyncing recovered WAL segment %s: %w", sg.path, err)
+		}
+		if i == activeAt {
+			if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+				f.Close()
+				return nil, nil, 0, err
+			}
+			activeFile = f
+		} else {
+			f.Close()
+		}
+	}
+
+	var active segment
+	var sealed []segment
+	if activeAt >= 0 {
+		active = segs[activeAt]
+		sealed = append(sealed, segs[:activeAt]...)
+	} else {
+		sealed = append(sealed, segs...)
+		next := uint64(1)
+		if n := len(segs); n > 0 {
+			next = segs[n-1].index + 1
+		}
+		path := filepath.Join(dir, segmentName(next))
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		active = segment{index: next, path: path}
+		activeFile = f
+	}
+
 	w := &wal{
-		path:    path,
-		fsync:   fsync,
-		f:       f,
-		size:    goodOff,
-		records: uint64(len(recs)),
-		kick:    make(chan struct{}, 1),
-		stopc:   make(chan struct{}),
-		done:    make(chan struct{}),
+		dir:        dir,
+		fsync:      opt.Fsync,
+		segBytes:   opt.SegmentBytes,
+		segRecords: uint64(opt.SegmentRecords),
+		f:          activeFile,
+		active:     active,
+		sealed:     sealed,
+		kick:       make(chan struct{}, 1),
+		stopc:      make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	go w.commit()
 	return w, recs, torn, nil
@@ -196,7 +361,8 @@ func encodeFrame(rec Record) ([]byte, error) {
 }
 
 // append stages a record into the current group-commit batch and returns a
-// Pending handle. The caller must Wait before acknowledging the mutation.
+// Pending handle. The caller must Wait before acknowledging the mutation,
+// and must hand records in ascending Seq order (the store's mutex does).
 func (w *wal) append(rec Record) (*Pending, error) {
 	frame, err := encodeFrame(rec)
 	if err != nil {
@@ -209,16 +375,17 @@ func (w *wal) append(rec Record) (*Pending, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return nil, fmt.Errorf("store: WAL %s is closed", w.path)
+		return nil, fmt.Errorf("store: WAL %s is closed", w.dir)
 	}
 	if w.err != nil {
-		return nil, fmt.Errorf("store: WAL %s failed earlier: %w", w.path, w.err)
+		return nil, fmt.Errorf("store: WAL %s failed earlier: %w", w.dir, w.err)
 	}
 	if w.cur == nil {
-		w.cur = &walBatch{done: make(chan struct{})}
+		w.cur = &walBatch{done: make(chan struct{}), firstSeq: rec.Seq}
 	}
 	w.cur.buf = append(w.cur.buf, frame...)
 	w.cur.n++
+	w.cur.lastSeq = rec.Seq
 	select {
 	case w.kick <- struct{}{}:
 	default:
@@ -230,7 +397,9 @@ func (w *wal) append(rec Record) (*Pending, error) {
 // each with one write call and at most one fsync, then releases the batch's
 // waiters. One slow fsync therefore covers every writer that staged while it
 // was pending — the latency of an append under load is one batch, not one
-// fsync per record.
+// fsync per record. Size/record-threshold rotation runs here too, between
+// batches, so the active segment is swapped only by the goroutine that
+// writes it.
 func (w *wal) commit() {
 	defer close(w.done)
 	for {
@@ -245,90 +414,180 @@ func (w *wal) commit() {
 }
 
 func (w *wal) commitOne() {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
 	w.mu.Lock()
 	b := w.cur
 	w.cur = nil
 	w.inflight = b
 	sticky := w.err
+	f := w.f
 	w.mu.Unlock()
 	if b == nil {
 		return
 	}
 	err := sticky
 	if err == nil {
-		_, err = w.f.Write(b.buf)
+		_, err = f.Write(b.buf)
 		if err == nil && w.fsync {
-			err = w.f.Sync()
+			err = f.Sync()
 		}
 	}
 	w.mu.Lock()
+	rotate := false
 	if err != nil {
 		if w.err == nil {
 			w.err = err
 		}
 	} else {
-		// size and records advance only on success: they describe what a
-		// recovery scan of the log will actually find.
-		w.size += int64(len(b.buf))
-		w.records += b.n
+		// Metadata advances only on success: it describes what a recovery
+		// scan of the segment will actually find.
+		w.active.size += int64(len(b.buf))
+		w.active.records += b.n
+		if w.active.firstSeq == 0 {
+			w.active.firstSeq = b.firstSeq
+		}
+		w.active.lastSeq = b.lastSeq
 		w.batches++
+		rotate = w.rotationDueLocked()
 	}
 	w.inflight = nil
 	w.mu.Unlock()
 	b.err = err
 	close(b.done)
+	if rotate {
+		w.rotateLocked()
+	}
 }
 
-// flush waits until every staged batch has committed. The caller must
-// exclude concurrent appends (the shard holds its mutation lock).
-func (w *wal) flush() error {
+// rotationDueLocked reports whether the active segment has crossed its
+// size or record threshold. Caller holds w.mu.
+func (w *wal) rotationDueLocked() bool {
+	if w.active.records == 0 {
+		return false
+	}
+	if w.segBytes > 0 && w.active.size >= w.segBytes {
+		return true
+	}
+	return w.segRecords > 0 && w.active.records >= w.segRecords
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the next
+// one. Caller holds ioMu — the committer between batches, or the compactor
+// through rotateForCompaction. Any failure poisons the log: a WAL that can
+// no longer seal durably or grow a fresh segment must stop acknowledging.
+func (w *wal) rotateLocked() {
+	w.mu.Lock()
+	if w.closed || w.err != nil {
+		w.mu.Unlock()
+		return
+	}
+	f, active := w.f, w.active
+	w.mu.Unlock()
+	// Sealing is a durability barrier REGARDLESS of the per-commit fsync
+	// knob: recovery hard-errors on sealed-segment damage, which is sound
+	// only if a sealed segment's bytes are guaranteed to survive power
+	// loss. One fsync per rotation, not per commit, so -fsync=false keeps
+	// its throughput win.
+	if err := f.Sync(); err != nil {
+		w.poison(fmt.Errorf("store: sealing WAL segment %s: %w", active.path, err))
+		return
+	}
+	if err := f.Close(); err != nil {
+		w.poison(fmt.Errorf("store: sealing WAL segment %s: %w", active.path, err))
+		return
+	}
+	next := active.index + 1
+	path := filepath.Join(w.dir, segmentName(next))
+	nf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		w.poison(fmt.Errorf("store: opening WAL segment %s: %w", path, err))
+		return
+	}
+	// The new segment's directory entry must be durable before any append is
+	// acknowledged out of it.
+	if err := syncDir(w.dir); err != nil {
+		nf.Close()
+		w.poison(fmt.Errorf("store: fsyncing WAL dir after rotation: %w", err))
+		return
+	}
+	w.mu.Lock()
+	w.sealed = append(w.sealed, active)
+	w.active = segment{index: next, path: path}
+	w.f = nf
+	w.rotations++
+	w.mu.Unlock()
+}
+
+// rotateForCompaction seals the active segment when a snapshot at seq fully
+// covers its contents, so the compactor can delete it like any other covered
+// segment — the segmented equivalent of the old truncate-to-zero reset.
+// Records staged but not yet committed always carry seqs beyond any
+// snapshot (snapshots cut at the applied watermark, applies happen only
+// after commit), so they land safely in the fresh segment.
+func (w *wal) rotateForCompaction(seq uint64) {
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
+	w.mu.Lock()
+	due := w.active.records > 0 && w.active.lastSeq <= seq && !w.closed && w.err == nil
+	w.mu.Unlock()
+	if due {
+		w.rotateLocked()
+	}
+}
+
+// dropCovered deletes sealed segments whose every record a durable snapshot
+// at seq covers, oldest first, unregistering each only after its unlink
+// succeeds — so metadata never claims less than the disk holds. Covered
+// segments form a prefix of the sealed list (seqs ascend across segments);
+// deletion stops at the first segment with live records.
+func (w *wal) dropCovered(seq uint64) (int, error) {
+	removed := 0
 	for {
 		w.mu.Lock()
-		cur, inflight, sticky := w.cur, w.inflight, w.err
+		if len(w.sealed) == 0 {
+			w.mu.Unlock()
+			break
+		}
+		sg := w.sealed[0]
+		if sg.records > 0 && sg.lastSeq > seq {
+			w.mu.Unlock()
+			break
+		}
 		w.mu.Unlock()
-		if cur == nil && inflight == nil {
-			return sticky
+		if err := os.Remove(sg.path); err != nil {
+			return removed, err
 		}
-		select {
-		case w.kick <- struct{}{}:
-		default:
-		}
-		if inflight != nil {
-			<-inflight.done
-		} else {
-			<-cur.done
-		}
+		w.mu.Lock()
+		w.sealed = w.sealed[1:]
+		w.removed++
+		w.mu.Unlock()
+		removed++
 	}
+	if removed == 0 {
+		return 0, nil
+	}
+	// One directory fsync covers the batch of unlinks; a crash before it can
+	// resurrect any subset of the deleted (fully covered) segments, which
+	// recovery skips past the snapshot anyway.
+	return removed, syncDir(w.dir)
 }
 
-// reset truncates the log to empty after a snapshot has made its contents
-// redundant. The caller must exclude concurrent appends and have flushed.
-func (w *wal) reset() error {
+// poison records a sticky failure: the in-flight batch may still complete,
+// but no later append will be acknowledged.
+func (w *wal) poison(err error) {
+	if err == nil {
+		return
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.cur != nil || w.inflight != nil {
-		return fmt.Errorf("store: reset with staged batches; flush first")
+	if w.err == nil {
+		w.err = err
 	}
-	if w.err != nil {
-		return w.err
-	}
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	if w.fsync {
-		if err := w.f.Sync(); err != nil {
-			return err
-		}
-	}
-	w.size = 0
-	w.records = 0
-	return nil
+	w.mu.Unlock()
 }
 
-// close stops the committer (flushing staged batches) and closes the file.
+// close stops the committer (flushing staged batches) and closes the active
+// segment file.
 func (w *wal) close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -339,12 +598,28 @@ func (w *wal) close() error {
 	w.mu.Unlock()
 	close(w.stopc)
 	<-w.done
+	w.ioMu.Lock()
+	defer w.ioMu.Unlock()
 	return w.f.Close()
 }
 
-// stats returns durable size, counters and the sticky failure under the lock.
-func (w *wal) stats() (size int64, records, batches uint64, err error) {
+// stats returns one consistent reading of sizes, counters and the sticky
+// failure across every live segment.
+func (w *wal) stats() walStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.size, w.records, w.batches, w.err
+	st := walStats{
+		segments: len(w.sealed) + 1,
+		batches:  w.batches,
+		rotation: w.rotations,
+		removed:  w.removed,
+		err:      w.err,
+	}
+	for _, sg := range w.sealed {
+		st.size += sg.size
+		st.records += sg.records
+	}
+	st.size += w.active.size
+	st.records += w.active.records
+	return st
 }
