@@ -19,6 +19,7 @@
 //	odbench -experiment churn -json
 //	odbench -experiment client -json
 //	odbench -experiment recovery -json
+//	odbench -experiment saturation -json
 //
 // With -json, machine-readable results are additionally written to
 // BENCH_<experiment>.json in the output directory (-out, default ".").
@@ -30,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -45,6 +47,7 @@ import (
 	"odlib/internal/catalog"
 	"odlib/internal/core"
 	"odlib/internal/engine"
+	"odlib/internal/metrics"
 	"odlib/internal/plan"
 	"odlib/internal/prover"
 	"odlib/internal/rewrite"
@@ -79,7 +82,7 @@ type metric struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("odbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "tpcds13", "one of tpcds13, tpcds18, example1, prover, armstrong, catalog, batch, parallel, churn, client, recovery")
+	experiment := fs.String("experiment", "tpcds13", "one of tpcds13, tpcds18, example1, prover, armstrong, catalog, batch, parallel, churn, client, recovery, saturation")
 	rows := fs.Int("rows", 100_000, "fact table rows")
 	days := fs.Int("days", 731, "days in the date dimension")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -113,6 +116,8 @@ func run(args []string) error {
 		res, err = runClient(*seed)
 	case "recovery":
 		res, err = runRecovery()
+	case "saturation":
+		res, err = runSaturation(*seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -1077,6 +1082,310 @@ func runRecovery() (*benchResult, error) {
 			{Name: "mutation_max", Value: float64(lat[len(lat)-1].Nanoseconds()), Unit: "ns"},
 		},
 	}, nil
+}
+
+// runSaturation drives an instrumented daemon to its knee and past it, in two
+// phases, against a shared bounded prover pool and compaction-lag admission
+// control — the two mechanisms that keep an overloaded odserve degrading
+// predictably instead of collapsing.
+//
+// Phase 1 (latency ramp): closed-loop prove traffic at rising concurrency
+// (1, 2, pool-capacity, 2x pool-capacity goroutines), every question a fresh
+// refuted span reversal so each prove runs a real pattern search through the
+// shared pool. Per-stage p50/p99 come from per-request wall clocks. The gate
+// is knee_p99_inflation — p99 at pool-capacity concurrency over p99 at
+// concurrency 1: with one bounded pool, queueing grows latency by roughly the
+// concurrency ratio; an unbounded goroutine explosion or a pool leak blows
+// far past it. pool_peak <= pool_capacity rides along as the deterministic
+// form of the same claim.
+//
+// Phase 2 (load shedding): the "hot" shard's compactor is pinned via the
+// store's stall hook while one-record WAL segments pile up; declares must
+// start bouncing with 429 once the lag threshold is crossed, while prove
+// traffic keeps answering 200 throughout. Resuming the compactor and
+// snapshotting must re-admit declares — shedding is a state, not a latch.
+func runSaturation(seed int64) (*benchResult, error) {
+	const (
+		poolCap        = 4
+		chainsPerStage = 16
+		chainAttrs     = 10 // per-chain universe: wide enough that searches fan out through the pool
+		minSpan        = 5
+		provesPerStage = 128
+		backpressureAt = 4  // sealed-segment lag that trips admission control
+		floodMax       = 64 // declare attempts against the pinned compactor
+	)
+	rng := rand.New(rand.NewSource(seed))
+	stages := []int{1, 2, poolCap, 2 * poolCap}
+
+	tmp, err := os.MkdirTemp("", "odbench-saturation-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Wired exactly like cmd/odserve: telemetry first, hooks into every
+	// layer, collectors installed over the opened router.
+	tel := server.NewTelemetry()
+	pool := prover.NewPool(poolCap)
+	rt, err := router.Open(router.Options{
+		DataDir: tmp,
+		Store: store.Options{
+			Fsync:          false,
+			SegmentRecords: 1, // every record seals a segment: lag == records
+			SnapshotEvery:  4,
+			Telemetry:      tel.StoreTelemetry(),
+		},
+		Catalog:              append([]catalog.Option{catalog.WithWorkers(poolCap)}, tel.CatalogOptions(pool)...),
+		BackpressureSegments: backpressureAt,
+		Telemetry:            tel.RouterTelemetry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	tel.ObserveRouter(rt, pool)
+	ts := httptest.NewServer(server.New(rt, server.WithTelemetry(tel)))
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(path string, body map[string]any) (int, error) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Per-stage schema: disjoint chains s<stage>_c<chain>_a0 ↦ … and a
+	// question pool of distinct FD-form spans [a_lo] ↦ [a_lo, a_hi] — each is
+	// implied through the chain but only the pattern search can say so
+	// (closure membership cannot, Theorem 13's FD detour), and implied
+	// verdicts have no counterexample witness the negative closure could
+	// generalize, so every distinct question pays a genuine search.
+	attr := func(stage, c, i int) string { return fmt.Sprintf("s%d_c%d_a%d", stage, c, i) }
+	questions := make(map[int][]string)
+	for si, conc := range stages {
+		var decl []string
+		for c := 0; c < chainsPerStage; c++ {
+			for i := 0; i+1 < chainAttrs; i++ {
+				decl = append(decl, fmt.Sprintf("[%s] -> [%s]", attr(si, c, i), attr(si, c, i+1)))
+			}
+			for lo := 0; lo < chainAttrs; lo++ {
+				for hi := lo + minSpan; hi < chainAttrs; hi++ {
+					questions[si] = append(questions[si],
+						fmt.Sprintf("[%s] -> [%s, %s]", attr(si, c, lo), attr(si, c, lo), attr(si, c, hi)))
+				}
+			}
+		}
+		schema := fmt.Sprintf("stage%d", si)
+		if code, err := post("/ods", map[string]any{"schema": schema, "statements": decl}); err != nil || code != 200 {
+			return nil, fmt.Errorf("populate stage %d (conc %d): status %d, %v", si, conc, code, err)
+		}
+		rng.Shuffle(len(questions[si]), func(i, j int) {
+			questions[si][i], questions[si][j] = questions[si][j], questions[si][i]
+		})
+		if len(questions[si]) < provesPerStage {
+			return nil, fmt.Errorf("stage %d question pool too small: %d", si, len(questions[si]))
+		}
+	}
+
+	prove := func(schema, stmt string) (time.Duration, error) {
+		t0 := time.Now()
+		code, err := post("/prove", map[string]any{"schema": schema, "statement": stmt})
+		if err != nil {
+			return 0, err
+		}
+		if code != 200 {
+			return 0, fmt.Errorf("prove: status %d", code)
+		}
+		return time.Since(t0), nil
+	}
+
+	fmt.Printf("saturation experiment — shared pool capacity %d, %d fresh search questions/stage, backpressure at %d segments\n",
+		poolCap, provesPerStage, backpressureAt)
+	fmt.Printf("%12s %12s %12s %14s\n", "concurrency", "p50", "p99", "proves/sec")
+
+	res := &benchResult{
+		Experiment: "saturation",
+		Params: map[string]any{
+			"pool_capacity": poolCap, "stages": stages, "proves_per_stage": provesPerStage,
+			"chain_attrs": chainAttrs, "chains_per_stage": chainsPerStage,
+			"backpressure_segments": backpressureAt, "seed": seed,
+		},
+	}
+	p99s := make(map[int]time.Duration)
+	for si, conc := range stages {
+		schema := fmt.Sprintf("stage%d", si)
+		lat := make([]time.Duration, provesPerStage)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, conc)
+		t0 := time.Now()
+		for g := 0; g < conc; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= provesPerStage {
+						return
+					}
+					d, err := prove(schema, questions[si][i])
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					lat[i] = d
+				}
+			}(g)
+		}
+		wg.Wait()
+		total := time.Since(t0)
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("stage conc=%d: %w", conc, err)
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(q float64) time.Duration { return lat[min(int(q*float64(len(lat))), len(lat)-1)] }
+		p99s[conc] = pct(0.99)
+		rate := float64(provesPerStage) / total.Seconds()
+		fmt.Printf("%12d %12v %12v %14.0f\n", conc, pct(0.50), pct(0.99), rate)
+		res.Metrics = append(res.Metrics,
+			metric{Name: fmt.Sprintf("conc=%d/p50", conc), Value: float64(pct(0.50).Nanoseconds()), Unit: "ns"},
+			metric{Name: fmt.Sprintf("conc=%d/p99", conc), Value: float64(pct(0.99).Nanoseconds()), Unit: "ns"},
+			metric{Name: fmt.Sprintf("conc=%d/proves_per_sec", conc), Value: rate, Unit: "1/s"},
+		)
+	}
+	ps := pool.Stats()
+	kneeInflation := float64(p99s[poolCap]) / float64(max(p99s[1], 1))
+	satInflation := float64(p99s[2*poolCap]) / float64(max(p99s[1], 1))
+	fmt.Printf("pool: capacity %d, peak %d, acquired %d, starved %d\n",
+		ps.Capacity, ps.Peak, ps.Acquired, ps.Starved)
+	fmt.Printf("p99 inflation: %.1fx at the knee (conc=%d), %.1fx saturated (conc=%d)\n",
+		kneeInflation, poolCap, satInflation, 2*poolCap)
+	if ps.Peak > int64(ps.Capacity) {
+		return nil, fmt.Errorf("pool peak %d exceeded capacity %d", ps.Peak, ps.Capacity)
+	}
+	if kneeInflation > 16 {
+		// A warning, not an error: CI evaluates the JSON, humans the text.
+		fmt.Printf("WARNING: knee p99 inflation above the expected 16x bound\n")
+	}
+
+	// Phase 2: pin the hot shard's compactor and flood declares. The first
+	// declare materializes the shard; every subsequent accepted declare seals
+	// one segment, so admission control must trip within backpressureAt+1
+	// accepts and shed the rest of the flood.
+	if code, err := post("/ods", map[string]any{"schema": "hot", "statements": []string{"[h0] -> [k0]"}}); err != nil || code != 200 {
+		return nil, fmt.Errorf("hot shard declare: status %d, %v", code, err)
+	}
+	resume := rt.ShardStore("hot").StallCompaction()
+	accepted, rejected := 0, 0
+	floodStop := make(chan struct{})
+	var proveWG sync.WaitGroup
+	var floodProveErr error
+	var floodLat []time.Duration
+	proveWG.Add(1)
+	go func() {
+		// Reads ride through the write flood untouched: re-asking stage
+		// questions (negative-closure hits now) must keep answering 200.
+		defer proveWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-floodStop:
+				return
+			default:
+			}
+			d, err := prove("stage0", questions[0][i%provesPerStage])
+			if err != nil {
+				floodProveErr = err
+				return
+			}
+			floodLat = append(floodLat, d)
+		}
+	}()
+	for i := 1; i <= floodMax; i++ {
+		code, err := post("/ods", map[string]any{
+			"schema": "hot", "statements": []string{fmt.Sprintf("[h%d] -> [k%d]", i, i)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		switch code {
+		case 200:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			return nil, fmt.Errorf("flood declare %d: status %d", i, code)
+		}
+	}
+	close(floodStop)
+	proveWG.Wait()
+	if floodProveErr != nil {
+		return nil, fmt.Errorf("prove during flood: %w", floodProveErr)
+	}
+	sort.Slice(floodLat, func(i, j int) bool { return floodLat[i] < floodLat[j] })
+	floodP99 := time.Duration(0)
+	if len(floodLat) > 0 {
+		floodP99 = floodLat[min(int(0.99*float64(len(floodLat))), len(floodLat)-1)]
+	}
+
+	// Recovery: un-pin, compact, and the shard must admit writes again.
+	resume()
+	if code, err := post("/snapshot", map[string]any{"schema": "hot"}); err != nil || code != 200 {
+		return nil, fmt.Errorf("snapshot after resume: status %d, %v", code, err)
+	}
+	recovered := 0
+	if code, err := post("/ods", map[string]any{"schema": "hot", "statements": []string{"[recov] -> [ered]"}}); err != nil {
+		return nil, err
+	} else if code == 200 {
+		recovered = 1
+	}
+
+	fmt.Printf("load shedding: %d accepted, %d rejected (429) of %d declares against a pinned compactor\n",
+		accepted, rejected, floodMax)
+	fmt.Printf("proves during the flood: %d answered, p99 %v; shard re-admitted writes after compaction: %v\n",
+		len(floodLat), floodP99, recovered == 1)
+	if rejected == 0 {
+		fmt.Printf("WARNING: no 429s — admission control never tripped\n")
+	}
+
+	// The registry must still serve a strictly parseable exposition after
+	// the whole run — the bench doubles as an end-to-end scrape check.
+	sresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	fams, err := metrics.ParseText(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("post-run /metrics failed to parse: %w", err)
+	}
+
+	res.Metrics = append(res.Metrics,
+		metric{Name: "knee_p99_inflation", Value: kneeInflation, Unit: "x"},
+		metric{Name: "saturated_p99_inflation", Value: satInflation, Unit: "x"},
+		metric{Name: "pool_capacity", Value: float64(ps.Capacity), Unit: "count"},
+		metric{Name: "pool_peak", Value: float64(ps.Peak), Unit: "count"},
+		metric{Name: "pool_acquired", Value: float64(ps.Acquired), Unit: "count"},
+		metric{Name: "pool_starved", Value: float64(ps.Starved), Unit: "count"},
+		metric{Name: "shed_accepted", Value: float64(accepted), Unit: "count"},
+		metric{Name: "shed_rejected", Value: float64(rejected), Unit: "count"},
+		metric{Name: "flood_proves", Value: float64(len(floodLat)), Unit: "count"},
+		metric{Name: "flood_prove_p99", Value: float64(floodP99.Nanoseconds()), Unit: "ns"},
+		metric{Name: "recovered", Value: float64(recovered), Unit: "count"},
+		metric{Name: "metric_families", Value: float64(len(fams)), Unit: "count"},
+	)
+	return res, nil
 }
 
 // runCatalog is the repeated-query workload behind odserve: the same

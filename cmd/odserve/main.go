@@ -14,6 +14,8 @@
 //	odserve -addr :8080 -data-dir /var/lib/odserve -wal-segment-bytes 1048576 -wal-segment-records 4096
 //	odserve -addr :8080 -data-dir /var/lib/odserve -fsync=false -shard-by-prefix
 //	odserve -addr :8080 -prove-workers 8 -prove-timeout 2s
+//	odserve -addr :8080 -log-requests -pprof-addr localhost:6060
+//	odserve -addr :8080 -data-dir /var/lib/odserve -backpressure-segments 8
 //
 // Endpoints (see internal/server):
 //
@@ -26,6 +28,7 @@
 //	curl -X POST localhost:8080/snapshot
 //	curl localhost:8080/generation
 //	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests and closing shard stores before exiting.
@@ -37,8 +40,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -77,10 +82,29 @@ func run(args []string, ready chan<- string) (err error) {
 	segmentRecords := fs.Int("wal-segment-records", 0, "seal and rotate the active WAL segment after this many records; 0 = size-based only")
 	shardByPrefix := fs.Bool("shard-by-prefix", false, "derive shard keys from attribute-name prefixes (before the first underscore)")
 	proveWorkers := fs.Int("prove-workers", runtime.GOMAXPROCS(0), "goroutines per pattern search; 1 = sequential")
+	provePool := fs.Int("prove-pool", runtime.GOMAXPROCS(0), "extra search goroutines allowed across ALL concurrent proves (shared pool); 0 = every search runs inline, <0 = unbounded per-search fan-out")
 	proveTimeout := fs.Duration("prove-timeout", 0, "server-side bound on each prove/rewrite search; 0 = unbounded")
+	backpressure := fs.Int("backpressure-segments", 0, "reject declares with 429 when a shard's compaction lag reaches this many sealed WAL segments; 0 = off")
+	logRequests := fs.Bool("log-requests", false, "log one structured line per request (method, path, status, shard, tier, duration)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// The telemetry registry is built before the router so every layer's
+	// hooks thread into the router's options; the shared search pool bounds
+	// total spawned search goroutines across all concurrent proves.
+	tel := server.NewTelemetry()
+	var pool *prover.Pool
+	if *provePool >= 0 {
+		pool = prover.NewPool(*provePool)
+	}
+	catOpts := []catalog.Option{
+		catalog.WithMemoCapacity(*memo),
+		catalog.WithMaxAttrs(*maxAttrs),
+		catalog.WithWorkers(*proveWorkers),
+	}
+	catOpts = append(catOpts, tel.CatalogOptions(pool)...)
 
 	rt, err := router.Open(router.Options{
 		DataDir: *dataDir,
@@ -89,17 +113,17 @@ func run(args []string, ready chan<- string) (err error) {
 			SnapshotEvery:  *snapshotEvery,
 			SegmentBytes:   *segmentBytes,
 			SegmentRecords: *segmentRecords,
+			Telemetry:      tel.StoreTelemetry(),
 		},
-		Catalog: []catalog.Option{
-			catalog.WithMemoCapacity(*memo),
-			catalog.WithMaxAttrs(*maxAttrs),
-			catalog.WithWorkers(*proveWorkers),
-		},
-		ShardByPrefix: *shardByPrefix,
+		Catalog:              catOpts,
+		ShardByPrefix:        *shardByPrefix,
+		BackpressureSegments: *backpressure,
+		Telemetry:            tel.RouterTelemetry(),
 	})
 	if err != nil {
 		return err
 	}
+	tel.ObserveRouter(rt, pool)
 	// One close on every exit path, reporting its error when nothing else
 	// already failed.
 	defer func() {
@@ -121,12 +145,44 @@ func run(args []string, ready chan<- string) (err error) {
 		}
 	}
 
+	srvOpts := []server.Option{
+		server.WithProveTimeout(*proveTimeout),
+		server.WithTelemetry(tel),
+	}
+	if *logRequests {
+		srvOpts = append(srvOpts, server.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
+
+	// pprof lives on its own listener and mux so profiling is never exposed
+	// on the serving port — bind it to localhost (or a firewalled interface)
+	// only.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if perr := psrv.Serve(pln); perr != nil && !errors.Is(perr, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", perr)
+			}
+		}()
+		defer psrv.Close()
+		log.Printf("pprof listening on %s", pln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           server.New(rt, server.WithProveTimeout(*proveTimeout)),
+		Handler:           server.New(rt, srvOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

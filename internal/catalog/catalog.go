@@ -5,10 +5,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"odlib/internal/core"
 	"odlib/internal/prover"
 	"odlib/internal/rewrite"
+)
+
+// Verdict tier names, as reported in ProveResult.Tier, the tier-latency
+// observer, and the odserve_verdict_tier_seconds metric labels. Order of
+// increasing cost: trivial, closure, negative, memo, search.
+const (
+	TierTrivial  = "trivial"
+	TierClosure  = "closure"
+	TierNegative = "negative"
+	TierMemo     = "memo"
+	TierSearch   = "search"
 )
 
 // Catalog is a concurrent OD constraint catalog with memoized implication.
@@ -19,6 +31,8 @@ type Catalog struct {
 	gen      uint64 // bumped on every effective mutation
 	maxAttrs int
 	workers  int
+	pool     *prover.Pool
+	observe  func(tier string, seconds float64)
 	memo     *VerdictMemo
 	neg      *negSet
 	prov     *prover.Prover       // prover over the current declared set, memo-backed
@@ -78,6 +92,25 @@ func WithMaxAttrs(n int) Option {
 // through the catalog. n <= 1 keeps searches sequential.
 func WithWorkers(n int) Option {
 	return func(c *Catalog) { c.workers = n }
+}
+
+// WithSearchPool shares one bounded worker pool across every prover this
+// catalog builds (one per generation) — and, when many catalogs receive the
+// same pool, across all of them. WithWorkers still sets how many workers a
+// single search WANTS; the pool decides how many extra goroutines it GETS,
+// so concurrent heavy proves split the machine instead of each claiming all
+// of it. Nil keeps per-search fan-out unbounded.
+func WithSearchPool(p *prover.Pool) Option {
+	return func(c *Catalog) { c.pool = p }
+}
+
+// WithTierLatency installs an observer called once per implication question
+// with the verdict tier that answered it (TierTrivial…TierSearch) and the
+// wall-clock seconds the answer took. The observer runs on the asking
+// goroutine and must be cheap and concurrency-safe — odserve hands it a
+// histogram-vec observe. Nil (the default) skips the timing entirely.
+func WithTierLatency(fn func(tier string, seconds float64)) Option {
+	return func(c *Catalog) { c.observe = fn }
 }
 
 // New creates an empty catalog. Searches default to one worker per
@@ -248,6 +281,7 @@ func (c *Catalog) refreshLocked() {
 	c.prov = prover.New(declared,
 		prover.WithMaxAttrs(c.maxAttrs),
 		prover.WithWorkers(c.workers),
+		prover.WithPool(c.pool),
 		prover.WithCounters(&c.counters),
 		prover.WithCache(c.memo.At(c.gen)))
 	c.cons = rewrite.NewConstraints(nil, declared).UseProver(c.prov)
@@ -267,6 +301,7 @@ type snapshot struct {
 	memo    MemoView
 	neg     *negSet
 	tiers   *tierCounters
+	observe func(tier string, seconds float64)
 }
 
 func (c *Catalog) snapshot() snapshot {
@@ -280,44 +315,78 @@ func (c *Catalog) snapshot() snapshot {
 		memo:    c.memo.At(c.gen),
 		neg:     c.neg,
 		tiers:   &c.tiers,
+		observe: c.observe,
 	}
 }
 
-// impliesWitness decides one question against the snapshot by descending the
-// verdict tier chain, cheapest first: triviality, positive transitive-
-// closure membership, negative-closure membership (refuted with a still-
-// valid witness), the generation-pinned memo, and finally the prover's
-// pattern search — whose verdict is stored back into the memo and, on
-// refutation, the negative closure. Each tier taken bumps its hit counter.
-func (s snapshot) impliesWitness(ctx context.Context, od core.OD) (bool, *core.Pattern, error) {
+// impliesWitness decides one question against the snapshot and reports
+// which verdict tier answered it. With a tier-latency observer installed,
+// the decision is timed and reported under that tier — cancelled searches
+// included, since their latency is exactly what saturation diagnostics need.
+func (s snapshot) impliesWitness(ctx context.Context, od core.OD) (bool, *core.Pattern, string, error) {
+	if s.observe == nil {
+		return s.decide(ctx, od)
+	}
+	start := time.Now()
+	ok, w, tier, err := s.decide(ctx, od)
+	s.observe(tier, time.Since(start).Seconds())
+	return ok, w, tier, err
+}
+
+// decide descends the verdict tier chain, cheapest first: triviality,
+// positive transitive-closure membership, negative-closure membership
+// (refuted with a still-valid witness), the generation-pinned memo, and
+// finally the prover's pattern search — whose verdict is stored back into
+// the memo and, on refutation, the negative closure. Each tier taken bumps
+// its hit counter.
+func (s snapshot) decide(ctx context.Context, od core.OD) (bool, *core.Pattern, string, error) {
 	od = canon(od)
 	if od.Trivial() {
 		s.tiers.trivial.Add(1)
-		return true, nil, nil
+		return true, nil, TierTrivial, nil
 	}
 	if s.closure.has(od) {
 		s.tiers.closure.Add(1)
-		return true, nil, nil
+		return true, nil, TierClosure, nil
 	}
 	key := od.Key()
 	if w, ok := s.neg.get(key, s.gen); ok {
 		s.tiers.negative.Add(1)
-		return false, w, nil
+		return false, w, TierNegative, nil
 	}
 	if v, ok := s.memo.Get(key); ok {
 		s.tiers.memo.Add(1)
-		return v.Implied, v.Witness, nil
+		return v.Implied, v.Witness, TierMemo, nil
 	}
 	s.tiers.search.Add(1)
 	v, err := s.prov.DecideCtx(ctx, od)
 	if err != nil {
-		return false, nil, err
+		return false, nil, TierSearch, err
 	}
 	s.memo.Put(key, v)
 	if !v.Implied {
 		s.neg.put(key, od, v.Witness, s.gen)
 	}
-	return v.Implied, v.Witness, nil
+	return v.Implied, v.Witness, TierSearch, nil
+}
+
+// tierRank orders tiers by cost so a conjunction can report its most
+// expensive constituent.
+func tierRank(tier string) int {
+	switch tier {
+	case "":
+		return -1
+	case TierTrivial:
+		return 0
+	case TierClosure:
+		return 1
+	case TierNegative:
+		return 2
+	case TierMemo:
+		return 3
+	default:
+		return 4
+	}
 }
 
 // Declared returns the declared ODs in canonical sorted order.
@@ -447,7 +516,8 @@ func (c *Catalog) ImpliesWitness(od core.OD) (bool, *core.Pattern, error) {
 // ImpliesWitnessCtx is ImpliesWitness honoring cancellation: a cancelled
 // context aborts the pattern search and surfaces the context's error.
 func (c *Catalog) ImpliesWitnessCtx(ctx context.Context, od core.OD) (bool, *core.Pattern, error) {
-	return c.snapshot().impliesWitness(ctx, od)
+	ok, w, _, err := c.snapshot().impliesWitness(ctx, od)
+	return ok, w, err
 }
 
 // ImpliesAllWitness decides a conjunction of ODs atomically: every question
@@ -465,7 +535,7 @@ func (c *Catalog) ImpliesAllWitness(ods []core.OD) (bool, *core.Pattern, uint64,
 func (c *Catalog) ImpliesAllWitnessCtx(ctx context.Context, ods []core.OD) (bool, *core.Pattern, uint64, error) {
 	s := c.snapshot()
 	for _, od := range ods {
-		ok, w, err := s.impliesWitness(ctx, od)
+		ok, w, _, err := s.impliesWitness(ctx, od)
 		if err != nil {
 			return false, nil, s.gen, err
 		}
@@ -478,10 +548,13 @@ func (c *Catalog) ImpliesAllWitnessCtx(ctx context.Context, ods []core.OD) (bool
 
 // ProveResult is one verdict of a batch prove: implied, refuted with a
 // witness, or individually failed (attribute-limit errors poison only their
-// own statement, not the batch).
+// own statement, not the batch). Tier names the most expensive verdict tier
+// the statement's conjunction touched (TierTrivial…TierSearch) — the label
+// access logs and latency diagnostics key on.
 type ProveResult struct {
 	Implied bool
 	Witness *core.Pattern
+	Tier    string
 	Err     error
 }
 
@@ -504,13 +577,17 @@ func (c *Catalog) ProveEachCtx(ctx context.Context, qs [][]core.OD) ([]ProveResu
 	for i, ods := range qs {
 		res := ProveResult{Implied: true}
 		for _, od := range ods {
-			ok, w, err := s.impliesWitness(ctx, od)
+			ok, w, tier, err := s.impliesWitness(ctx, od)
+			if tierRank(tier) > tierRank(res.Tier) {
+				res.Tier = tier
+			}
 			if err != nil {
-				res = ProveResult{Err: err}
+				res.Err = err
+				res.Implied, res.Witness = false, nil
 				break
 			}
 			if !ok {
-				res = ProveResult{Witness: w}
+				res.Implied, res.Witness = false, w
 				break
 			}
 		}

@@ -1,0 +1,31 @@
+// Package metrics is a dependency-free Prometheus text-exposition registry:
+// counters, gauges, and fixed-bucket histograms, safe to scrape while every
+// hot path keeps writing. The module has zero external dependencies and the
+// telemetry layer keeps it that way — this is the subset of a metrics client
+// the OD service actually needs, not a general library.
+//
+// Instruments are lock-free on the write path: counters and gauges are one
+// CAS loop over float64 bits, a histogram observation is the sum CAS plus a
+// single atomic bucket increment. The scrape derives _count from the bucket
+// slots, so the +Inf cumulative bucket always equals _count even when
+// observations race the scrape; the sum is added before the bucket slot and
+// read after it, so every counted observation is already in the scraped sum.
+//
+// Two registration styles, matching the two kinds of signal in the server:
+//
+//   - Hot-path instruments (NewCounter, NewHistogram, …Vec): latencies and
+//     sizes observed where they happen — WAL commit, verdict tiers, request
+//     handling.
+//   - Scrape-time collectors (NewGaugeFunc, NewCounterFunc): state that
+//     already has an owner — shard stats, prover node tallies, compaction
+//     lag, pool occupancy — sampled by callback at scrape, never mirrored.
+//
+// Registration is idempotent for identical shapes and panics on conflicting
+// ones. Output is deterministic (families and series sorted), and ParseText
+// is a strict re-parser used by tests to round-trip the exposition format
+// instead of grepping it.
+//
+// The Counter and Histogram methods return bare observe functions so that
+// *Registry structurally satisfies pkg/odclient's MetricsRegistry hook
+// without the client library importing this package.
+package metrics

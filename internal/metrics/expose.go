@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition media type served by
+// Registry.ServeHTTP.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every family in text exposition format, families sorted
+// by name and series sorted by label values, so identical registry states
+// produce byte-identical output. Hot-path writers are never blocked: the
+// registry lock only guards the family map, and series reads are atomic
+// loads.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b bytes.Buffer
+	for _, f := range fams {
+		f.write(&b)
+	}
+	n, err := w.Write(b.Bytes())
+	return int64(n), err
+}
+
+// ServeHTTP makes the registry a GET /metrics handler.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", ContentType)
+	r.WriteTo(w)
+}
+
+func (f *family) write(b *bytes.Buffer) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.kind.String())
+	b.WriteByte('\n')
+
+	if f.collect != nil {
+		f.collect(func(labelValues []string, v float64) {
+			if len(labelValues) != len(f.labels) {
+				panic("metrics: collector for " + f.name + " emitted wrong label count")
+			}
+			writeSample(b, f.name, f.labels, labelValues, "", "", formatFloat(v))
+		})
+		return
+	}
+
+	f.mu.RLock()
+	sers := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		sers = append(sers, s)
+	}
+	f.mu.RUnlock()
+	sort.Slice(sers, func(i, j int) bool {
+		return lessStrings(sers[i].labelValues, sers[j].labelValues)
+	})
+
+	for _, s := range sers {
+		if f.kind != kindHistogram {
+			writeSample(b, f.name, f.labels, s.labelValues, "", "", formatFloat(s.val.get()))
+			continue
+		}
+		cum, sum := s.hist.snapshot()
+		for i, bound := range s.hist.bounds {
+			writeSample(b, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(bound), strconv.FormatUint(cum[i], 10))
+		}
+		count := cum[len(cum)-1]
+		writeSample(b, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", strconv.FormatUint(count, 10))
+		writeSample(b, f.name+"_sum", f.labels, s.labelValues, "", "", formatFloat(sum))
+		writeSample(b, f.name+"_count", f.labels, s.labelValues, "", "", strconv.FormatUint(count, 10))
+	}
+}
+
+func writeSample(b *bytes.Buffer, name string, labels, values []string, extraName, extraValue, v string) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraValue)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(v)
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func lessStrings(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,374 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets is the default latency histogram layout: exponential-ish
+// from 100µs to 10s, wide enough to hold both a memo hit and a full 3^n
+// search under saturation without every observation landing in +Inf.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the default layout for count-shaped observations (batch
+// records per group commit, statements per client flush): powers of two up
+// to 1024.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// value is a float64 cell updated lock-free: adds run a CAS loop over the
+// IEEE-754 bit pattern, reads are a single atomic load. Counters and gauges
+// share it.
+type value struct {
+	bits atomic.Uint64
+}
+
+func (v *value) add(d float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (v *value) set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) get() float64  { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing series. Add panics on negative
+// deltas — a decreasing counter breaks every rate() over it.
+type Counter struct{ v *value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds d, which must be non-negative.
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("metrics: counter Add with negative delta")
+	}
+	c.v.add(d)
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return c.v.get() }
+
+// Gauge is a series that can move both ways.
+type Gauge struct{ v *value }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.v.set(x) }
+
+// Add moves the gauge by d (negative allowed).
+func (g *Gauge) Add(d float64) { g.v.add(d) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return g.v.get() }
+
+// Histogram is a fixed-bucket latency/size distribution. Observations are
+// two atomic operations (sum CAS-add, then one bucket increment); the scrape
+// derives _count from the bucket slots, so the +Inf cumulative bucket and
+// _count are equal by construction even mid-write. The sum is added BEFORE
+// the bucket slot, and the scrape reads buckets before sum, so every counted
+// observation is already in the scraped sum — with uniform observations of
+// v, sum ≥ count·v always holds under concurrency.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1; last slot is the +Inf overflow
+	sum    value
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.sum.add(x)
+	// First bound with x <= bound gets the sample; past the last bound the
+	// overflow slot does.
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+}
+
+// snapshot reads buckets (cumulative) then sum, in that order — see the
+// type comment for why the order matters.
+func (h *Histogram) snapshot() (cum []uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return cum, h.sum.get()
+}
+
+// Count reads the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum reads the running sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.get() }
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled member of a family: a value cell for counters and
+// gauges, a Histogram otherwise.
+type series struct {
+	labelValues []string
+	val         *value
+	hist        *Histogram
+}
+
+// family is one metric name: its metadata plus either a live series map
+// (instruments updated on the hot path) or a collect callback sampled at
+// scrape time.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64
+	collect func(emit func(labelValues []string, v float64))
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), labelValues...)}
+	if f.kind == kindHistogram {
+		s.hist = newHistogram(f.buckets)
+	} else {
+		s.val = &value{}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Registry owns a set of metric families and renders them in Prometheus
+// text exposition format. All registration methods are idempotent: asking
+// for a name again with the same shape returns the existing family, a
+// conflicting shape panics (it is a programming error, not load-dependent).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64, collect func(emit func([]string, float64))) *family {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if collect != nil || f.collect != nil || f.kind != k ||
+			!equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("metrics: conflicting registration of %s", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    k,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		collect: collect,
+		series:  map[string]*series{},
+	}
+	r.fams[name] = f
+	return f
+}
+
+// NewCounter registers (or finds) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	return &Counter{v: f.get(nil).val}
+}
+
+// NewGauge registers (or finds) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	return &Gauge{v: f.get(nil).val}
+}
+
+// NewHistogram registers (or finds) an unlabeled histogram with the given
+// bucket upper bounds (sorted, strictly increasing; +Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	checkBuckets(buckets)
+	f := r.register(name, help, kindHistogram, nil, buckets, nil)
+	return f.get(nil).hist
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers (or finds) a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels []string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// With returns the counter for one label-value tuple, creating it on first
+// use. Callers on hot paths should cache the result.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{v: v.f.get(labelValues).val}
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels []string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// With returns the gauge for one label-value tuple, creating it on first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{v: v.f.get(labelValues).val}
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// NewHistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels []string) *HistogramVec {
+	checkBuckets(buckets)
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// With returns the histogram for one label-value tuple, creating it on
+// first use. Callers on hot paths should cache the result.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.get(labelValues).hist
+}
+
+// NewGaugeFunc registers a gauge family sampled at scrape time: collect is
+// called under the scrape and emits one sample per label-value tuple. Use it
+// to export state that already has an owner (shard stats, pool occupancy)
+// instead of mirroring it into hot-path instruments.
+func (r *Registry) NewGaugeFunc(name, help string, labels []string, collect func(emit func(labelValues []string, v float64))) {
+	r.register(name, help, kindGauge, labels, nil, collect)
+}
+
+// NewCounterFunc is NewGaugeFunc for monotone sources (cumulative counters
+// owned elsewhere). The collector must only ever emit non-decreasing values
+// per tuple.
+func (r *Registry) NewCounterFunc(name, help string, labels []string, collect func(emit func(labelValues []string, v float64))) {
+	r.register(name, help, kindCounter, labels, nil, collect)
+}
+
+// Counter returns the add function of an unlabeled counter, registering it
+// on first use. This is the loose-coupling shape pkg/odclient's
+// MetricsRegistry hook wants: a *Registry satisfies that interface without
+// odclient importing this package.
+func (r *Registry) Counter(name, help string) func(float64) {
+	return r.NewCounter(name, help).Add
+}
+
+// Histogram returns the observe function of an unlabeled histogram,
+// registering it on first use; see Counter.
+func (r *Registry) Histogram(name, help string, buckets []float64) func(float64) {
+	return r.NewHistogram(name, help, buckets).Observe
+}
+
+func checkName(name string) {
+	if name == "" {
+		panic("metrics: empty metric or label name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid name %q", name))
+		}
+	}
+}
+
+func checkBuckets(bounds []float64) {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("metrics: bucket bounds must be finite (+Inf is implicit)")
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic("metrics: bucket bounds must be strictly increasing")
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

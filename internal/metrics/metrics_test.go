@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact bytes of the exposition format:
+// HELP/TYPE lines, sorted families and series, histogram suffixes, +Inf.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("odserve_zz_total", "last family by name.")
+	c.Add(3)
+	g := r.NewGauge("odserve_aa_inflight", "first family by name.")
+	g.Set(2.5)
+	hv := r.NewHistogramVec("odserve_mid_seconds", "labeled histogram.", []float64{0.1, 1}, []string{"tier"})
+	hv.With("search").Observe(0.05)
+	hv.With("search").Observe(0.5)
+	hv.With("memo").Observe(5)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP odserve_aa_inflight first family by name.
+# TYPE odserve_aa_inflight gauge
+odserve_aa_inflight 2.5
+# HELP odserve_mid_seconds labeled histogram.
+# TYPE odserve_mid_seconds histogram
+odserve_mid_seconds_bucket{tier="memo",le="0.1"} 0
+odserve_mid_seconds_bucket{tier="memo",le="1"} 0
+odserve_mid_seconds_bucket{tier="memo",le="+Inf"} 1
+odserve_mid_seconds_sum{tier="memo"} 5
+odserve_mid_seconds_count{tier="memo"} 1
+odserve_mid_seconds_bucket{tier="search",le="0.1"} 1
+odserve_mid_seconds_bucket{tier="search",le="1"} 2
+odserve_mid_seconds_bucket{tier="search",le="+Inf"} 2
+odserve_mid_seconds_sum{tier="search"} 0.55
+odserve_mid_seconds_count{tier="search"} 2
+# HELP odserve_zz_total last family by name.
+# TYPE odserve_zz_total counter
+odserve_zz_total 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestLabelEscaping round-trips label values containing every escaped
+// character, plus a HELP line with a backslash and newline.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	help := "line one\nline two with \\backslash"
+	v := r.NewCounterVec("odserve_esc_total", help, []string{"path"})
+	hostile := "a\"b\\c\nd"
+	v.With(hostile).Inc()
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	if !strings.Contains(out, `path="a\"b\\c\nd"`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP odserve_esc_total line one\nline two with \\backslash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+
+	fams, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	f := fams["odserve_esc_total"]
+	if f == nil || f.Help != help {
+		t.Fatalf("help did not round-trip: %+v", f)
+	}
+	if len(f.Samples) != 1 || f.Samples[0].Labels["path"] != hostile {
+		t.Errorf("label value did not round-trip: %+v", f.Samples)
+	}
+}
+
+// TestParseRoundTrip builds a registry exercising every instrument kind and
+// asserts the strict parser accepts the output and recovers the values.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c_total", "counter.").Add(7)
+	r.NewGauge("g", "gauge.").Set(-1.25)
+	h := r.NewHistogram("h_seconds", "histogram.", DefLatencyBuckets)
+	for _, x := range []float64{0.0002, 0.003, 0.7, 42} {
+		h.Observe(x)
+	}
+	r.NewGaugeFunc("fn_gauge", "collector.", []string{"shard"}, func(emit func([]string, float64)) {
+		emit([]string{"alpha"}, 1)
+		emit([]string{"beta"}, 2)
+	})
+	r.NewCounterFunc("fn_total", "collector counter.", nil, func(emit func([]string, float64)) {
+		emit(nil, 9)
+	})
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	fams, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\noutput:\n%s", err, b.String())
+	}
+	if got := fams["c_total"].Samples[0].Value; got != 7 {
+		t.Errorf("counter = %v, want 7", got)
+	}
+	if got := fams["g"].Samples[0].Value; got != -1.25 {
+		t.Errorf("gauge = %v, want -1.25", got)
+	}
+	hf := fams["h_seconds"]
+	var count, sum float64
+	for _, s := range hf.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		}
+	}
+	if count != 4 || math.Abs(sum-42.7032) > 1e-9 {
+		t.Errorf("histogram count=%v sum=%v, want 4 and 42.7032", count, sum)
+	}
+	if got := len(fams["fn_gauge"].Samples); got != 2 {
+		t.Errorf("collector emitted %d samples, want 2", got)
+	}
+	if got := fams["fn_total"].Samples[0].Value; got != 9 {
+		t.Errorf("collector counter = %v, want 9", got)
+	}
+}
+
+// TestIdempotentRegistration asserts re-registering the same shape returns
+// the same underlying series, and a conflicting shape panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "x.")
+	b := r.NewCounter("dup_total", "x.")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Errorf("re-registration did not alias: %v %v", a.Value(), b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting registration did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "x.")
+}
+
+// TestScrapeWhileWrite hammers every instrument kind from writer goroutines
+// while scraping concurrently, asserting (under -race) memory safety, that
+// every scrape parses, that counters are monotone across scrapes, and that
+// histogram sum/count stay consistent: with uniform observations of v,
+// sum ≥ count·v at any instant.
+func TestScrapeWhileWrite(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("stress_total", "c.")
+	g := r.NewGauge("stress_gauge", "g.")
+	h := r.NewHistogram("stress_seconds", "h.", []float64{0.001, 0.01, 0.1})
+	hv := r.NewHistogramVec("stress_vec_seconds", "hv.", []float64{1, 10}, []string{"shard"})
+
+	const obsValue = 0.005
+	const writers = 4
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var writersWG, scraperWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			shard := []string{"alpha", "beta"}[w%2]
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(obsValue)
+				hv.With(shard).Observe(obsValue)
+			}
+		}(w)
+	}
+
+	scrapeErr := make(chan error, 1)
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		var lastCounter float64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if _, err := r.WriteTo(&b); err != nil {
+				scrapeErr <- err
+				return
+			}
+			fams, err := ParseText(strings.NewReader(b.String()))
+			if err != nil {
+				scrapeErr <- err
+				return
+			}
+			cv := fams["stress_total"].Samples[0].Value
+			if cv < lastCounter {
+				scrapeErr <- errCounterWentBackwards(lastCounter, cv)
+				return
+			}
+			lastCounter = cv
+			var count, sum float64
+			for _, s := range fams["stress_seconds"].Samples {
+				switch {
+				case strings.HasSuffix(s.Name, "_count"):
+					count = s.Value
+				case strings.HasSuffix(s.Name, "_sum"):
+					sum = s.Value
+				}
+			}
+			// Tolerance covers float accumulation error only, not ordering.
+			if sum < count*obsValue-1e-6 {
+				scrapeErr <- errSumBehindCount(sum, count)
+				return
+			}
+		}
+	}()
+
+	writersWG.Wait()
+	close(stop)
+	scraperWG.Wait()
+	select {
+	case err := <-scrapeErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("final histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := c.Value(); got != float64(writers*perWriter) {
+		t.Errorf("final counter = %v, want %d", got, writers*perWriter)
+	}
+}
+
+type errValue struct{ msg string }
+
+func (e errValue) Error() string { return e.msg }
+
+func errCounterWentBackwards(prev, now float64) error {
+	return errValue{msg: "counter went backwards: " + formatFloat(prev) + " -> " + formatFloat(now)}
+}
+
+func errSumBehindCount(sum, count float64) error {
+	return errValue{msg: "histogram sum " + formatFloat(sum) + " behind count " + formatFloat(count)}
+}

@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The parser exists so tests can round-trip the exposition output instead
+// of grepping for substrings: every byte the registry serves must survive
+// a strict re-parse, which catches escaping, ordering, and histogram
+// bookkeeping bugs a looser assertion would let through.
+
+// Sample is one parsed series line. Name keeps the _bucket/_sum/_count
+// suffix so histogram structure stays visible to assertions.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family with its metadata lines.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition strictly: HELP then TYPE then
+// samples per family, no samples outside a family, no duplicate families,
+// well-formed label syntax. It returns families keyed by name.
+func ParseText(r io.Reader) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP without a name", lineno)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %s", lineno, name)
+			}
+			cur = &Family{Name: name, Help: unescapeHelp(help)}
+			fams[name] = cur
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE for %s without preceding HELP", lineno, name)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineno, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+				cur.Type = typ
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineno, typ)
+			}
+		case strings.HasPrefix(line, "#"):
+			// Comments other than HELP/TYPE are legal; we never emit them.
+			continue
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			if cur == nil || cur.Type == "" || baseName(s.Name, cur) != cur.Name {
+				return nil, fmt.Errorf("line %d: sample %s outside its family", lineno, s.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// baseName strips the histogram suffix a sample may carry when cur is a
+// histogram family, so association is by family name.
+func baseName(name string, cur *Family) string {
+	if cur.Type != "histogram" {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.TrimSuffix(name, suf) == cur.Name {
+			return cur.Name
+		}
+	}
+	return name
+}
+
+// checkHistogram verifies, per label set, that cumulative buckets are
+// non-decreasing, the +Inf bucket exists, and _count equals it.
+func checkHistogram(f *Family) error {
+	type hstate struct {
+		last     float64
+		inf      float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+	}
+	states := map[string]*hstate{}
+	key := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		// Map order is random; canonicalize.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *hstate {
+		k := key(labels)
+		st, ok := states[k]
+		if !ok {
+			st = &hstate{}
+			states[k] = st
+		}
+		return st
+	}
+	for _, s := range f.Samples {
+		st := get(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if s.Value < st.last {
+				return fmt.Errorf("%s: cumulative bucket decreases", f.Name)
+			}
+			st.last = s.Value
+			if s.Labels["le"] == "+Inf" {
+				st.inf, st.hasInf = s.Value, true
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			st.count, st.hasCount = s.Value, true
+		}
+	}
+	for _, st := range states {
+		if !st.hasInf || !st.hasCount {
+			return fmt.Errorf("%s: histogram series missing +Inf bucket or _count", f.Name)
+		}
+		if st.inf != st.count {
+			return fmt.Errorf("%s: _count %v != +Inf bucket %v", f.Name, st.count, st.inf)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			name := rest[:eq]
+			val, n, err := unquoteLabel(rest[eq+1:])
+			if err != nil {
+				return s, err
+			}
+			s.Labels[name] = val
+			rest = rest[eq+1+n:]
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "+Inf" || rest == "-Inf" || rest == "NaN" {
+		v, _ := strconv.ParseFloat(strings.TrimPrefix(rest, "+"), 64)
+		s.Value = v
+		return s, nil
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// unquoteLabel decodes a quoted label value starting at the opening quote,
+// returning the value and the number of input bytes consumed.
+func unquoteLabel(in string) (string, int, error) {
+	if in == "" || in[0] != '"' {
+		return "", 0, fmt.Errorf("label value not quoted")
+	}
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch c := in[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

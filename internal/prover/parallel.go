@@ -166,16 +166,25 @@ func enumeratePrefixes(n, workers int) []prefixAssign {
 	return out
 }
 
-// searchParallel fans the enumeration out across the worker pool. The first
-// worker to hit a counterexample publishes it and raises the stop flag;
-// everyone else unwinds within one poll interval. Context cancellation stops
-// the pool the same way, surfacing the context's error.
+// searchParallel fans the enumeration out across prefix blocks. One block
+// always runs inline on the caller's goroutine; the rest go to spawned
+// workers — all of them when the prover is unpooled, however many the
+// shared Pool grants without blocking otherwise. The first worker to hit a
+// counterexample publishes it and raises the stop flag; everyone else
+// unwinds within one poll interval. Context cancellation stops the pool the
+// same way, surfacing the context's error.
 func (p *Prover) searchParallel(ctx context.Context, pat *core.Pattern, cods []compiledOD, target compiledOD) (*core.Pattern, uint64, error) {
 	prefixes := enumeratePrefixes(len(pat.Signs()), p.workers)
-	workers := p.workers
-	if workers > len(prefixes) {
-		workers = len(prefixes)
+	want := p.workers
+	if want > len(prefixes) {
+		want = len(prefixes)
 	}
+	extra := want - 1
+	if p.pool != nil {
+		extra = p.pool.tryAcquire(extra)
+		defer p.pool.release(extra)
+	}
+	parts := extra + 1
 
 	var (
 		stop       atomic.Bool
@@ -186,42 +195,54 @@ func (p *Prover) searchParallel(ctx context.Context, pat *core.Pattern, cods []c
 		wg         sync.WaitGroup
 	)
 	depth := len(prefixes[0].signs)
-	for i := 0; i < workers; i++ {
-		block := prefixes[i*len(prefixes)/workers : (i+1)*len(prefixes)/workers]
+	runBlock := func(block []prefixAssign) {
+		wpat := core.MustPattern(pat.Universe())
+		signs := wpat.Signs()
+		s := &searchState{ctx: ctx, cods: cods, target: target}
+		if parts > 1 {
+			s.stop = &stop
+		}
+		for _, pre := range block {
+			copy(signs[:depth], pre.signs)
+			if s.search(signs, depth, pre.seenLess) && !s.aborted {
+				mu.Lock()
+				if found == nil {
+					found = wpat
+				}
+				mu.Unlock()
+				stop.Store(true)
+				break
+			}
+			if s.aborted {
+				break
+			}
+		}
+		totalNodes.Add(s.nodes)
+		if s.err != nil {
+			mu.Lock()
+			if ctxErr == nil {
+				ctxErr = s.err
+			}
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < parts-1; i++ {
+		block := prefixes[i*len(prefixes)/parts : (i+1)*len(prefixes)/parts]
 		if len(block) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(block []prefixAssign) {
 			defer wg.Done()
-			wpat := core.MustPattern(pat.Universe())
-			signs := wpat.Signs()
-			s := &searchState{ctx: ctx, stop: &stop, cods: cods, target: target}
-			for _, pre := range block {
-				copy(signs[:depth], pre.signs)
-				if s.search(signs, depth, pre.seenLess) && !s.aborted {
-					mu.Lock()
-					if found == nil {
-						found = wpat
-					}
-					mu.Unlock()
-					stop.Store(true)
-					break
-				}
-				if s.aborted {
-					break
-				}
-			}
-			totalNodes.Add(s.nodes)
-			if s.err != nil {
-				mu.Lock()
-				if ctxErr == nil {
-					ctxErr = s.err
-				}
-				mu.Unlock()
-			}
+			runBlock(block)
 		}(block)
 	}
+	// The caller — the one participant guaranteed to be running even on a
+	// saturated or single-core machine — takes the LAST block: the Greater-
+	// heavy subtrees DFS visits last are where deep refutations concentrate,
+	// so the inline share of the work is the share most likely to cancel
+	// everyone else early.
+	runBlock(prefixes[(parts-1)*len(prefixes)/parts:])
 	wg.Wait()
 	switch {
 	case found != nil:

@@ -1,0 +1,95 @@
+package prover
+
+import "sync/atomic"
+
+// Pool is a shared, bounded budget of EXTRA search goroutines. Before PR 6
+// every decide sized its own fan-out (workers goroutines each), so N
+// concurrent heavy proves oversubscribed the host N·workers-fold exactly
+// when load was highest. With a Pool, every concurrent search draws its
+// extra workers from one semaphore and never blocks on it: a search that
+// gets nothing runs its whole block inline on the caller's goroutine, so
+// saturation degrades each request toward sequential search instead of
+// queueing or goroutine explosion.
+//
+// The invariant the saturation test leans on: spawned search goroutines
+// across ALL concurrent decides never exceed the pool capacity, because a
+// slot is held for the entire lifetime of the goroutine it paid for. The
+// caller's own goroutine rides free — it exists either way.
+type Pool struct {
+	sem      chan struct{}
+	inUse    atomic.Int64
+	peak     atomic.Int64
+	acquired atomic.Uint64
+	starved  atomic.Uint64
+}
+
+// NewPool creates a pool allowing up to n concurrent extra search
+// goroutines across every prover sharing it. n = 0 is legal and forces all
+// searches inline (useful for tests and single-core deployments).
+func NewPool(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// tryAcquire grabs up to want slots without blocking and returns how many
+// it got. Shortfall is tallied as starvation — the saturation signal.
+func (p *Pool) tryAcquire(want int) int {
+	got := 0
+	for got < want {
+		select {
+		case p.sem <- struct{}{}:
+			got++
+		default:
+			p.starved.Add(uint64(want - got))
+			want = got
+		}
+	}
+	if got > 0 {
+		p.acquired.Add(uint64(got))
+		in := p.inUse.Add(int64(got))
+		for {
+			old := p.peak.Load()
+			if in <= old || p.peak.CompareAndSwap(old, in) {
+				break
+			}
+		}
+	}
+	return got
+}
+
+// release returns n slots.
+func (p *Pool) release(n int) {
+	if n <= 0 {
+		return
+	}
+	p.inUse.Add(-int64(n))
+	for i := 0; i < n; i++ {
+		<-p.sem
+	}
+}
+
+// Capacity returns the configured slot count.
+func (p *Pool) Capacity() int { return cap(p.sem) }
+
+// PoolStats is a point-in-time copy of the pool's occupancy counters,
+// JSON-ready for /healthz and scrape-time collection for /metrics.
+type PoolStats struct {
+	Capacity int    `json:"capacity"`
+	InUse    int64  `json:"in_use"`
+	Peak     int64  `json:"peak"`
+	Acquired uint64 `json:"acquired"`
+	Starved  uint64 `json:"starved"`
+}
+
+// Stats returns current pool occupancy and cumulative acquisition tallies.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Capacity: cap(p.sem),
+		InUse:    p.inUse.Load(),
+		Peak:     p.peak.Load(),
+		Acquired: p.acquired.Load(),
+		Starved:  p.starved.Load(),
+	}
+}

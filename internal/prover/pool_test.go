@@ -1,0 +1,189 @@
+package prover
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odlib/internal/core"
+)
+
+// TestPoolBoundsSearchGoroutines is the acceptance test for the shared
+// pool: with K concurrent heavy proves through provers sharing one Pool of
+// capacity C, the process-wide goroutine count never exceeds
+// baseline + K (the callers) + C (the pool grants) — the old per-decide
+// sizing would have spawned K·(workers-1) extras instead. Pool bookkeeping
+// must agree: peak ≤ C, starvation observed, nothing leaked.
+func TestPoolBoundsSearchGoroutines(t *testing.T) {
+	const capacity = 3
+	const callers = 6
+	const workers = 8
+
+	m, implied, _ := chainInstance(13) // implied span: every search exhausts its tree
+	pool := NewPool(capacity)
+	// Two provers sharing the pool, as shards do in odserve.
+	provers := []*Prover{
+		New(m, WithWorkers(workers), WithPool(pool)),
+		New(m, WithWorkers(workers), WithPool(pool)),
+	}
+
+	baseline := runtime.NumGoroutine()
+	var maxG atomic.Int64
+	stop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() { // the sampler itself is +1, counted against the slack below
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := int64(runtime.NumGoroutine())
+			for {
+				old := maxG.Load()
+				if g <= old || maxG.CompareAndSwap(old, g) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := provers[i%len(provers)]
+			for r := 0; r < 3; r++ {
+				v, err := p.DecideCtx(context.Background(), implied)
+				if err != nil || !v.Implied {
+					t.Errorf("caller %d: implied=%v err=%v, want implied", i, v.Implied, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-samplerDone
+
+	// +1 sampler, +1 headroom for runtime goroutines waking mid-test.
+	limit := int64(baseline + callers + capacity + 2)
+	if got := maxG.Load(); got > limit {
+		t.Errorf("goroutine high-water %d exceeds bound %d (baseline %d + callers %d + pool %d)",
+			got, limit, baseline, callers, capacity)
+	}
+	st := pool.Stats()
+	if st.Peak > capacity {
+		t.Errorf("pool peak %d exceeds capacity %d", st.Peak, capacity)
+	}
+	if st.Peak == 0 || st.Acquired == 0 {
+		t.Errorf("pool never engaged: %+v", st)
+	}
+	if st.Starved == 0 {
+		t.Errorf("6 callers wanting %d extras each over capacity %d should have starved: %+v",
+			workers-1, capacity, st)
+	}
+	if st.InUse != 0 {
+		t.Errorf("pool leaked %d slots", st.InUse)
+	}
+}
+
+// TestPooledMatchesUnpooled is the differential check: a pooled prover —
+// including one whose pool grants nothing, forcing every block inline —
+// must return the same verdicts with valid witnesses as the sequential
+// prover on both deep-swap refutations and exhaustive implied spans.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	m, target := deepSwapInstance(8)
+	chainM, implied, tailRev := chainInstance(9)
+
+	type instance struct {
+		name string
+		p    *Prover
+	}
+	for _, set := range [][]struct {
+		m       []core.OD
+		q       core.OD
+		implied bool
+	}{{
+		{m, target, false},
+		{chainM, implied, true},
+		{chainM, tailRev, false},
+	}} {
+		for _, c := range set {
+			seq := New(c.m)
+			wantOK, wantW, err := seq.ImpliesWitness(c.q)
+			if err != nil || wantOK != c.implied {
+				t.Fatalf("sequential %s: ok=%v err=%v, want %v", c.q, wantOK, err, c.implied)
+			}
+			if !wantOK {
+				checkWitness(t, c.m, c.q, wantW)
+			}
+			for _, inst := range []instance{
+				{"granting pool", New(c.m, WithWorkers(8), WithPool(NewPool(16)))},
+				{"tight pool", New(c.m, WithWorkers(8), WithPool(NewPool(1)))},
+				{"empty pool", New(c.m, WithWorkers(8), WithPool(NewPool(0)))},
+			} {
+				gotOK, gotW, err := inst.p.ImpliesWitness(c.q)
+				if err != nil {
+					t.Fatalf("%s %s: %v", inst.name, c.q, err)
+				}
+				if gotOK != wantOK {
+					t.Errorf("%s %s: got %v, sequential says %v", inst.name, c.q, gotOK, wantOK)
+				}
+				if !gotOK {
+					checkWitness(t, c.m, c.q, gotW)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolSharedAcrossConcurrentProvers stresses one pool under the race
+// detector from many provers at once, with cancellations mixed in, then
+// asserts the pool's ledger balanced.
+func TestPoolSharedAcrossConcurrentProvers(t *testing.T) {
+	m, target := deepSwapInstance(8)
+	chainM, implied, _ := chainInstance(9)
+	pool := NewPool(4)
+	pa := New(m, WithWorkers(8), WithPool(pool))
+	pb := New(chainM, WithWorkers(8), WithPool(pool))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				ctx := context.Background()
+				if i == 4 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(g%3)*time.Millisecond)
+					defer cancel()
+				}
+				if g%2 == 0 {
+					v, err := pa.DecideCtx(ctx, target)
+					if err == nil && v.Implied {
+						t.Errorf("deep swap should be refuted")
+						return
+					}
+				} else {
+					v, err := pb.DecideCtx(ctx, implied)
+					if err == nil && !v.Implied {
+						t.Errorf("chain span should be implied")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := pool.Stats(); st.InUse != 0 || st.Peak > 4 {
+		t.Errorf("pool ledger off after stress: %+v", st)
+	}
+}

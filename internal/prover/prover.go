@@ -98,6 +98,7 @@ type Prover struct {
 	universe core.List
 	maxAttrs int
 	workers  int
+	pool     *Pool
 	cache    VerdictCache
 	counters *Counters
 }
@@ -142,6 +143,17 @@ func WithWorkers(n int) Option {
 // counting disabled.
 func WithCounters(c *Counters) Option {
 	return func(p *Prover) { p.counters = c }
+}
+
+// WithPool bounds the parallel search with a shared worker pool: instead of
+// unconditionally spawning workers-1 goroutines per search, each search
+// grabs as many non-blocking slots as the pool has free (possibly zero) and
+// runs one block inline on the caller. Many provers — every shard, every
+// catalog generation — share one Pool, so concurrent heavy proves split the
+// machine instead of multiplying across it. Nil keeps the unpooled
+// behavior.
+func WithPool(pool *Pool) Option {
+	return func(p *Prover) { p.pool = pool }
 }
 
 // New creates a prover for the OD set M.

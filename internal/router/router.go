@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"odlib/internal/catalog"
 	"odlib/internal/core"
@@ -20,6 +21,15 @@ var errSchema = errors.New("invalid schema")
 
 // IsSchemaError reports whether err stems from an invalid schema name.
 func IsSchemaError(err error) bool { return errors.Is(err, errSchema) }
+
+// errBackpressure tags admission-control rejections: the shard's WAL has
+// outrun its compactor past the configured segment threshold, and declares
+// must back off instead of queueing unboundedly on a disk the compactor
+// cannot reclaim. The HTTP layer maps it to 429 with Retry-After.
+var errBackpressure = errors.New("compaction backpressure")
+
+// IsBackpressure reports whether err is an admission-control rejection.
+func IsBackpressure(err error) bool { return errors.Is(err, errBackpressure) }
 
 // DefaultShard is the shard of requests that name no schema; its directory
 // on disk is dirDefault.
@@ -44,6 +54,28 @@ type Options struct {
 	// cross-shard splitting changes which constraints a prove consults, so
 	// it must be an explicit deployment decision.
 	ShardByPrefix bool
+	// BackpressureSegments rejects mutations (IsBackpressure errors, HTTP
+	// 429) on a shard whose compaction lag — sealed WAL segments the last
+	// durable snapshot does not cover — has reached this count. Reads and
+	// proves are never rejected. 0 disables admission control.
+	BackpressureSegments int
+	// Telemetry installs per-shard observation hooks; nil disables them.
+	Telemetry *Telemetry
+}
+
+// Telemetry is the router's metric hook set: latency observers keyed by
+// shard name plus the admission-control rejection tally. Fields may be nil
+// individually; hooks must be cheap and concurrency-safe.
+type Telemetry struct {
+	// MutateSeconds observes one mutation's full latency on a shard: WAL
+	// staging, the group-commit durability wait, and the catalog apply.
+	MutateSeconds func(shard string, seconds float64)
+	// ProveSeconds observes one prove call's latency against a shard — for
+	// batches, the whole per-shard group (one snapshot, many statements).
+	ProveSeconds func(shard string, seconds float64)
+	// BackpressureRejected counts mutations turned away by admission
+	// control, per shard.
+	BackpressureRejected func(shard string)
 }
 
 // Shard is one schema namespace: its catalog and, when durable, its store.
@@ -51,6 +83,11 @@ type Shard struct {
 	name string
 	cat  *catalog.Catalog
 	st   *store.Store // nil when the router is ephemeral
+
+	// tel and backpressure are copied from the router's Options at open, so
+	// the hot mutation path never reaches back through the router.
+	tel          *Telemetry
+	backpressure int
 
 	// mu serializes WAL staging so sequence numbers are handed out in a
 	// deterministic order; it is held only across the append, never across
@@ -157,7 +194,12 @@ func (r *Router) openShard(name string) (*Shard, error) {
 	if sh, ok := r.shards[name]; ok {
 		return sh, nil
 	}
-	sh := &Shard{name: name, cat: catalog.New(r.opt.Catalog...)}
+	sh := &Shard{
+		name:         name,
+		cat:          catalog.New(r.opt.Catalog...),
+		tel:          r.opt.Telemetry,
+		backpressure: r.opt.BackpressureSegments,
+	}
 	sh.applyCond = sync.NewCond(&sh.applyMu)
 	if r.opt.DataDir != "" {
 		dir := name
@@ -334,8 +376,9 @@ func (r *Router) mutate(schema string, op store.Op, ods []core.OD) (MutationResu
 // stagedMutation is one WAL-appended, not-yet-applied mutation batch: the
 // ticket (seq) fixing its apply order plus the durability handle to wait on.
 type stagedMutation struct {
-	sh   *Shard
-	muts []catalog.Mutation
+	sh    *Shard
+	muts  []catalog.Mutation
+	start time.Time
 
 	pending *store.Pending
 	seq     uint64
@@ -346,6 +389,21 @@ type stagedMutation struct {
 // shard there is no WAL and nothing to wait for: the batch applies
 // immediately and the final MutationResult is returned instead.
 func (sh *Shard) stage(declares, removes []core.OD) (*stagedMutation, MutationResult, error) {
+	start := time.Now()
+	// Admission control runs before any lock or WAL touch: when the sealed
+	// log has outrun the compactor past the threshold, the shard sheds the
+	// write (callers see IsBackpressure → 429) and nudges the compactor —
+	// rejections actively push toward the condition clearing.
+	if sh.st != nil && sh.backpressure > 0 {
+		if lag := sh.st.CompactionLagSegments(); lag >= sh.backpressure {
+			sh.st.Kick()
+			if sh.tel != nil && sh.tel.BackpressureRejected != nil {
+				sh.tel.BackpressureRejected(sh.name)
+			}
+			return nil, MutationResult{}, fmt.Errorf("router: shard %q: %w: %d sealed segments behind the last snapshot (threshold %d)",
+				sh.name, errBackpressure, lag, sh.backpressure)
+		}
+	}
 	var muts []catalog.Mutation
 	if len(declares) > 0 {
 		muts = append(muts, catalog.Mutation{ODs: declares})
@@ -357,13 +415,22 @@ func (sh *Shard) stage(declares, removes []core.OD) (*stagedMutation, MutationRe
 	defer sh.mu.Unlock()
 	if sh.st == nil {
 		added, removed, st := sh.cat.Apply(muts)
+		sh.observeMutate(start)
 		return nil, MutationResult{Schema: sh.name, Added: added, Removed: removed, Stats: st}, nil
 	}
 	pending, seq, err := sh.st.AppendBatch(declares, removes)
 	if err != nil {
 		return nil, MutationResult{}, fmt.Errorf("router: shard %q WAL append: %w", sh.name, err)
 	}
-	return &stagedMutation{sh: sh, muts: muts, pending: pending, seq: seq}, MutationResult{}, nil
+	return &stagedMutation{sh: sh, muts: muts, start: start, pending: pending, seq: seq}, MutationResult{}, nil
+}
+
+// observeMutate reports one mutation's latency since start to the telemetry
+// hook, when one is installed.
+func (sh *Shard) observeMutate(start time.Time) {
+	if sh.tel != nil && sh.tel.MutateSeconds != nil {
+		sh.tel.MutateSeconds(sh.name, time.Since(start).Seconds())
+	}
 }
 
 // wait blocks until the staged batch is durable, then applies it to the
@@ -389,6 +456,7 @@ func (m *stagedMutation) wait() (MutationResult, error) {
 	// moment the catalog publish finishes.
 	sh.nextApply = m.seq + 1
 	sh.applyCond.Broadcast()
+	sh.observeMutate(m.start)
 	return MutationResult{Schema: sh.name, Added: added, Removed: removed, Seq: m.seq, Stats: st}, nil
 }
 
@@ -492,8 +560,18 @@ func (r *Router) ProveOne(ctx context.Context, schema string, ods []core.OD) (ca
 	if err != nil {
 		return catalog.ProveResult{}, 0, "", err
 	}
+	start := time.Now()
 	res, gen := r.readCatalog(key).ProveEachCtx(ctx, [][]core.OD{ods})
+	r.observeProve(key, start)
 	return res[0], gen, key, nil
+}
+
+// observeProve reports one prove call's latency since start to the telemetry
+// hook, when one is installed.
+func (r *Router) observeProve(shard string, start time.Time) {
+	if t := r.opt.Telemetry; t != nil && t.ProveSeconds != nil {
+		t.ProveSeconds(shard, time.Since(start).Seconds())
+	}
 }
 
 // BatchVerdict is one statement's outcome within a batch prove.
@@ -532,7 +610,9 @@ func (r *Router) ProveBatch(ctx context.Context, schema string, stmts [][]core.O
 	out := make([]BatchVerdict, len(stmts))
 	for _, key := range order {
 		g := groups[key]
+		start := time.Now()
 		res, gen := r.readCatalog(key).ProveEachCtx(ctx, g.qs)
+		r.observeProve(key, start)
 		for j, i := range g.idx {
 			out[i] = BatchVerdict{Schema: key, Generation: gen, Result: res[j]}
 		}

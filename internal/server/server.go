@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"odlib/internal/catalog"
@@ -20,6 +22,8 @@ type Server struct {
 	rt           *router.Router
 	mux          *http.ServeMux
 	proveTimeout time.Duration
+	tel          *Telemetry
+	accessLog    *slog.Logger
 }
 
 // Option configures a Server.
@@ -29,6 +33,20 @@ type Option func(*Server)
 // (the default) leaves searches bounded only by the client's patience.
 func WithProveTimeout(d time.Duration) Option {
 	return func(s *Server) { s.proveTimeout = d }
+}
+
+// WithTelemetry serves t's registry on GET /metrics and turns on the
+// request-level instruments (latency histogram, request counter, in-flight
+// gauge). The layer hooks inside t must be threaded into the router's
+// options separately — see Telemetry.
+func WithTelemetry(t *Telemetry) Option {
+	return func(s *Server) { s.tel = t }
+}
+
+// WithAccessLog emits one structured line per request on logger: method,
+// route, status, resolved shard, verdict tier (for proves) and duration.
+func WithAccessLog(logger *slog.Logger) Option {
+	return func(s *Server) { s.accessLog = logger }
 }
 
 // New builds a server over the given router.
@@ -47,12 +65,113 @@ func New(rt *router.Router, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /generation", s.handleGeneration)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.tel != nil {
+		s.mux.Handle("GET /metrics", s.tel.Registry())
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With telemetry or access logging on,
+// every request runs under the observing wrapper; the bare path stays
+// untouched so a plain Server adds zero overhead.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.tel == nil && s.accessLog == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	meta := &reqMeta{}
+	r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	if s.tel != nil {
+		s.tel.inflight.Add(1)
+	}
+	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
+	route := routeLabel(r.Method, r.URL.Path)
+	if s.tel != nil {
+		s.tel.inflight.Add(-1)
+		s.tel.httpRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
+		s.tel.httpSeconds.With(route).Observe(elapsed.Seconds())
+	}
+	if s.accessLog != nil {
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", elapsed),
+		}
+		if meta.shard != "" || meta.shardSet {
+			attrs = append(attrs, slog.String("shard", shardLabel(meta.shard)))
+		}
+		if meta.tier != "" {
+			attrs = append(attrs, slog.String("tier", meta.tier))
+		}
+		s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	}
+}
+
+// knownRoutes caps the route label's cardinality: every served pattern maps
+// to itself, anything else (bots probing paths) collapses to "other".
+var knownRoutes = map[string]bool{
+	"/ods": true, "/ods/batch": true, "/prove": true, "/prove/batch": true,
+	"/rewrite": true, "/snapshot": true, "/generation": true,
+	"/healthz": true, "/metrics": true,
+}
+
+func routeLabel(method, path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	_ = method
+	return "other"
+}
+
+// statusRecorder captures the status code a handler writes; handlers that
+// never call WriteHeader implicitly answered 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// reqMeta carries per-request annotations from handlers back to the
+// observing wrapper: the shard that answered and, for proves, the verdict
+// tier. Handlers run on one goroutine, so plain fields suffice.
+type reqMeta struct {
+	shard    string
+	shardSet bool
+	tier     string
+}
+
+type metaKey struct{}
+
+// noteShard records the shard a request resolved to (the default shard's
+// empty name included — hence the explicit set flag).
+func noteShard(r *http.Request, shard string) {
+	if m, ok := r.Context().Value(metaKey{}).(*reqMeta); ok {
+		m.shard, m.shardSet = shard, true
+	}
+}
+
+// noteTier records the verdict tier that answered a prove.
+func noteTier(r *http.Request, tier string) {
+	if m, ok := r.Context().Value(metaKey{}).(*reqMeta); ok && tier != "" {
+		m.tier = tier
+	}
 }
 
 // maxBodyBytes bounds request bodies; even bulk constraint batches are small.
@@ -158,19 +277,35 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
 	}
 	res, err := apply(req.Schema, ods)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeRouterError(w, err)
 		return
 	}
+	noteShard(r, res.Schema)
 	writeJSON(w, http.StatusOK, mutationOf(res))
 }
 
-// statusOf maps router errors: invalid schemas are client errors, failed
-// durability is a server error.
+// statusOf maps router errors: invalid schemas are client errors,
+// backpressure rejections ask the client to slow down, failed durability is
+// a server error.
 func statusOf(err error) int {
-	if router.IsSchemaError(err) {
+	switch {
+	case router.IsSchemaError(err):
 		return http.StatusBadRequest
+	case router.IsBackpressure(err):
+		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError
+}
+
+// writeRouterError answers a failed mutation. Backpressure rejections carry
+// Retry-After: the rejection itself kicked the compactor, so a short pause
+// is genuinely expected to clear the condition.
+func writeRouterError(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, err)
 }
 
 // proveCtx derives the context a prove or rewrite runs under: the request's
@@ -235,7 +370,7 @@ func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.rt.ApplyBatch(ops)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeRouterError(w, err)
 		return
 	}
 	out := batchMutateResponse{Shards: make(map[string]mutationJSON, len(res))}
@@ -391,6 +526,8 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	noteShard(r, shard)
+	noteTier(r, res.Tier)
 	if res.Err != nil {
 		writeSearchError(w, r, res.Err)
 		return
@@ -517,6 +654,7 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	noteShard(r, shard)
 	cat, err := s.rt.Catalog(shard)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

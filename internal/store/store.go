@@ -37,6 +37,26 @@ type Options struct {
 	// SegmentRecords seals and rotates the active WAL segment once it holds
 	// this many records; 0 disables record-based rotation.
 	SegmentRecords int
+	// Telemetry installs observation hooks on the durability hot path. Nil
+	// disables all of them. One Telemetry value is typically shared by every
+	// shard store, so the histograms aggregate the whole daemon's WAL work.
+	Telemetry *Telemetry
+}
+
+// Telemetry is the store's metric hook set. Each field is an observe
+// function (histogram-shaped) called from the group-commit goroutine; nil
+// fields are skipped. Hooks must be cheap and concurrency-safe.
+type Telemetry struct {
+	// CommitSeconds observes the wall-clock duration of one group commit:
+	// the batch write plus, when enabled, its fsync.
+	CommitSeconds func(float64)
+	// FsyncSeconds observes the fsync portion alone. Never called with
+	// per-commit fsync disabled — the series then reports zero observations,
+	// which is itself the signal.
+	FsyncSeconds func(float64)
+	// BatchRecords observes how many records each group commit carried — the
+	// amortization factor that makes fsync affordable under load.
+	BatchRecords func(float64)
 }
 
 // Recovery describes what Open found: how the current in-memory state was
@@ -58,10 +78,16 @@ type Recovery struct {
 // checks must see that. SnapshotError and CompactionError carry the last
 // background-compaction failure (snapshot write, or covered-segment
 // deletion), cleared by the next success.
+//
+// Compaction lag has two units: SinceSnapshot counts records past the last
+// durable snapshot, LagSegments counts sealed segments the snapshot does
+// not fully cover — the unit admission control thresholds on, since sealed
+// uncovered segments are exactly the disk the compactor has yet to reclaim.
 type Stats struct {
 	Seq             uint64   `json:"seq"`
 	SnapshotSeq     uint64   `json:"snapshotSeq"`
 	SinceSnapshot   int      `json:"recordsSinceSnapshot"`
+	LagSegments     int      `json:"compactionLagSegments"`
 	WALBytes        int64    `json:"walBytes"`
 	WALRecords      uint64   `json:"walRecords"`
 	WALSegments     int      `json:"walSegments"`
@@ -115,6 +141,7 @@ type Store struct {
 	compactErr    error // last covered-segment deletion failure; cleared by a success
 	recovery      Recovery
 	src           Source
+	compactGate   chan struct{} // non-nil holds every compaction pass (fault drills)
 
 	compactKick chan struct{}
 	compactStop chan struct{}
@@ -306,9 +333,19 @@ func (s *Store) compactOnce() (CompactionResult, error) {
 	defer s.compactMu.Unlock()
 	s.mu.Lock()
 	src := s.src
+	gate := s.compactGate
+	stop := s.compactStop
 	s.mu.Unlock()
 	if src == nil {
 		return CompactionResult{}, errors.New("store: no compactor source; call StartCompactor first")
+	}
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-stop:
+			// Shutdown mid-drill: abandon the pass instead of wedging Close.
+			return CompactionResult{}, errors.New("store: compaction aborted by shutdown")
+		}
 	}
 	cutSeq, ods := src()
 	res := CompactionResult{Seq: cutSeq, Declared: len(ods)}
@@ -353,6 +390,56 @@ func (s *Store) compactOnce() (CompactionResult, error) {
 	return res, nil
 }
 
+// CompactionLagSegments reports how many sealed WAL segments the last
+// durable snapshot does not fully cover — the backlog the compactor still
+// has to retire. The router's admission control calls this per mutation, so
+// it stays two mutex acquisitions and a short scan of segment metadata.
+func (s *Store) CompactionLagSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.lagSegments(s.snapshotSeq)
+}
+
+// Kick nudges the background compactor asynchronously, if one is running.
+// Admission control calls it when rejecting for compaction lag, so shedding
+// load also accelerates the recovery from the condition that shed it.
+func (s *Store) Kick() {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return
+	}
+	select {
+	case s.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// StallCompaction holds every compaction pass — background and CompactNow
+// alike — at its entry until the returned resume function is called (or the
+// store shuts down). A fault-injection hook for admission-control drills:
+// with the compactor pinned, sealed segments accumulate and backpressure
+// must shed writes. Resume is idempotent; call it before Close when the
+// drill relied on a synchronous CompactNow, or that caller hangs.
+func (s *Store) StallCompaction() (resume func()) {
+	gate := make(chan struct{})
+	s.mu.Lock()
+	s.compactGate = gate
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			if s.compactGate == gate {
+				s.compactGate = nil
+			}
+			s.mu.Unlock()
+			close(gate)
+		})
+	}
+}
+
 // FailWAL injects a sticky failure into the shard's WAL, as if its disk had
 // died mid-flight: future appends fail fast and Stats reports WALError. A
 // fault-injection hook for health-reporting drills — the daemon keeps
@@ -371,11 +458,12 @@ func (s *Store) FailWAL(cause error) {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ws := s.wal.stats()
+	ws := s.wal.stats(s.snapshotSeq)
 	st := Stats{
 		Seq:             s.seq,
 		SnapshotSeq:     s.snapshotSeq,
 		SinceSnapshot:   s.sinceSnapshot,
+		LagSegments:     ws.lagSegments,
 		WALBytes:        ws.size,
 		WALRecords:      ws.records,
 		WALSegments:     ws.segments,

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"odlib/internal/core"
 )
@@ -107,6 +108,7 @@ type wal struct {
 	fsync      bool
 	segBytes   int64
 	segRecords uint64
+	tel        *Telemetry
 
 	// ioMu serializes every file operation — batch writes, sealing,
 	// rotation, the final close — so the committer and the compactor never
@@ -132,13 +134,14 @@ type wal struct {
 
 // walStats is one consistent reading of the log's counters.
 type walStats struct {
-	size     int64
-	records  uint64
-	segments int
-	batches  uint64
-	rotation uint64
-	removed  uint64
-	err      error
+	size        int64
+	records     uint64
+	segments    int
+	lagSegments int // sealed segments not fully covered by the snapshot
+	batches     uint64
+	rotation    uint64
+	removed     uint64
+	err         error
 }
 
 // walBatch is one group commit: the concatenated frames of every writer that
@@ -293,6 +296,7 @@ func openSegments(dir string, opt Options) (*wal, []Record, int64, error) {
 		fsync:      opt.Fsync,
 		segBytes:   opt.SegmentBytes,
 		segRecords: uint64(opt.SegmentRecords),
+		tel:        opt.Telemetry,
 		f:          activeFile,
 		active:     active,
 		sealed:     sealed,
@@ -428,9 +432,32 @@ func (w *wal) commitOne() {
 	}
 	err := sticky
 	if err == nil {
+		// Timing wraps the whole durability step; the fsync gets its own
+		// series because it dominates commit latency whenever it is on, and
+		// separating the two is what shows whether a latency regression is
+		// the disk or the write path.
+		var start time.Time
+		if w.tel != nil {
+			start = time.Now()
+		}
 		_, err = f.Write(b.buf)
 		if err == nil && w.fsync {
+			var fstart time.Time
+			if w.tel != nil {
+				fstart = time.Now()
+			}
 			err = f.Sync()
+			if w.tel != nil && w.tel.FsyncSeconds != nil {
+				w.tel.FsyncSeconds(time.Since(fstart).Seconds())
+			}
+		}
+		if err == nil && w.tel != nil {
+			if w.tel.CommitSeconds != nil {
+				w.tel.CommitSeconds(time.Since(start).Seconds())
+			}
+			if w.tel.BatchRecords != nil {
+				w.tel.BatchRecords(float64(b.n))
+			}
 		}
 	}
 	w.mu.Lock()
@@ -604,8 +631,9 @@ func (w *wal) close() error {
 }
 
 // stats returns one consistent reading of sizes, counters and the sticky
-// failure across every live segment.
-func (w *wal) stats() walStats {
+// failure across every live segment. coveredSeq (the last durable snapshot
+// cut) determines which sealed segments still count as compaction backlog.
+func (w *wal) stats(coveredSeq uint64) walStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	st := walStats{
@@ -618,8 +646,25 @@ func (w *wal) stats() walStats {
 	for _, sg := range w.sealed {
 		st.size += sg.size
 		st.records += sg.records
+		if sg.records > 0 && sg.lastSeq > coveredSeq {
+			st.lagSegments++
+		}
 	}
 	st.size += w.active.size
 	st.records += w.active.records
 	return st
+}
+
+// lagSegments counts sealed segments holding records past coveredSeq — the
+// compactor's backlog, and the admission-control signal.
+func (w *wal) lagSegments(coveredSeq uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lag := 0
+	for _, sg := range w.sealed {
+		if sg.records > 0 && sg.lastSeq > coveredSeq {
+			lag++
+		}
+	}
+	return lag
 }

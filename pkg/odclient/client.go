@@ -159,6 +159,7 @@ type options struct {
 	retries        int
 	retryBackoff   time.Duration
 	requestTimeout time.Duration
+	metrics        MetricsRegistry
 }
 
 // Option configures a Client.
@@ -231,6 +232,7 @@ type Client struct {
 	hc    *http.Client
 	o     options
 	stats statsCounters
+	met   clientMetrics
 
 	gens   *generations
 	cache  *verdictCache // nil when disabled
@@ -261,6 +263,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		base: strings.TrimRight(baseURL, "/"),
 		hc:   o.hc,
 		o:    o,
+		met:  newClientMetrics(o.metrics),
 		gens: newGenerations(),
 	}
 	if o.cacheCap > 0 {
@@ -324,6 +327,7 @@ func (c *Client) Prove(ctx context.Context, schema, statement string) (Verdict, 
 		return Verdict{}, ErrClosed
 	}
 	c.stats.proves.Add(1)
+	obs(c.met.proves, 1)
 	ods, err := core.ParseStatement(statement)
 	if err != nil {
 		return Verdict{}, fmt.Errorf("odclient: %w", err)
@@ -342,7 +346,10 @@ func (c *Client) Prove(ctx context.Context, schema, statement string) (Verdict, 
 			return v, nil
 		}
 		return c.proveFetch(fctx, schema, statement, key)
-	}, &c.stats.coalesceJoins)
+	}, func() {
+		c.stats.coalesceJoins.Add(1)
+		obs(c.met.coalesceJoins, 1)
+	})
 }
 
 // proveFetch asks the daemon: through the pipeliner when one runs, else a
@@ -603,6 +610,7 @@ func (c *Client) cacheGet(ctx context.Context, key string) (Verdict, bool) {
 	}
 	if c.o.cacheMaxAge >= 0 && time.Since(seen) > c.o.cacheMaxAge {
 		c.stats.generationPolls.Add(1)
+		obs(c.met.generationPolls, 1)
 		if _, err := c.Generations(ctx); err != nil {
 			return Verdict{}, false
 		}
@@ -616,6 +624,7 @@ func (c *Client) cacheGet(ctx context.Context, key string) (Verdict, bool) {
 		return Verdict{}, false
 	}
 	c.stats.cacheHits.Add(1)
+	obs(c.met.cacheHits, 1)
 	return v, true
 }
 
@@ -626,15 +635,19 @@ func (c *Client) cachePut(key string, v Verdict) {
 }
 
 // retryable reports whether an attempt's failure is worth a re-send:
-// transport errors and 502/503 answers are; anything the server decided
-// (4xx, 500, 504) and any form of cancellation is not.
+// transport errors, 502/503 answers, and 429 (the daemon shedding declares
+// under compaction backpressure — explicitly transient, the response says
+// Retry-After) are; anything else the server decided (4xx, 500, 504) and any
+// form of cancellation is not.
 func retryable(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Status == http.StatusBadGateway || ae.Status == http.StatusServiceUnavailable
+		return ae.Status == http.StatusBadGateway ||
+			ae.Status == http.StatusServiceUnavailable ||
+			ae.Status == http.StatusTooManyRequests
 	}
 	return true
 }
@@ -657,6 +670,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 		c.stats.retries.Add(1)
+		obs(c.met.retries, 1)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -679,6 +693,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		req.Header.Set("Content-Type", "application/json")
 	}
 	c.stats.httpRequests.Add(1)
+	obs(c.met.httpRequests, 1)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err

@@ -3,7 +3,6 @@ package odclient
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 )
 
 // flightGroup collapses concurrent identical Prove calls into one in-flight
@@ -33,15 +32,15 @@ func newFlightGroup() *flightGroup {
 
 // do runs fetch once per key: the first caller becomes the leader and spawns
 // the fetch under a refcount-cancelled context; later callers with the same
-// key join its result (counted in joins). Every caller waits on its own ctx,
-// so one slow waiter never holds up another's cancellation.
+// key join its result (reported through onJoin). Every caller waits on its
+// own ctx, so one slow waiter never holds up another's cancellation.
 func (g *flightGroup) do(ctx context.Context, key string,
-	fetch func(context.Context) (Verdict, error), joins *atomic.Uint64) (Verdict, error) {
+	fetch func(context.Context) (Verdict, error), onJoin func()) (Verdict, error) {
 	g.mu.Lock()
 	if cl, ok := g.calls[key]; ok {
 		cl.waiters++
 		g.mu.Unlock()
-		joins.Add(1)
+		onJoin()
 		return g.wait(ctx, key, cl)
 	}
 	cl := &flightCall{waiters: 1, done: make(chan struct{})}

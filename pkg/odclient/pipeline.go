@@ -202,6 +202,8 @@ func (p *pipeliner) flush(proves []*proveJob, muts []*mutJob) {
 			g := groups[schema]
 			p.c.stats.pipelineBatches.Add(1)
 			p.c.stats.pipelineStatements.Add(uint64(len(g.declare) + len(g.remove)))
+			obs(p.c.met.flushBatches, 1)
+			obs(p.c.met.flushStatements, float64(len(g.declare)+len(g.remove)))
 			_, err := p.c.mutateWire(ctx, schema, g.declare, g.remove)
 			for _, j := range g.jobs {
 				j.res <- err
@@ -230,6 +232,8 @@ func (p *pipeliner) flush(proves []*proveJob, muts []*mutJob) {
 			g := groups[schema]
 			p.c.stats.pipelineBatches.Add(1)
 			p.c.stats.pipelineStatements.Add(uint64(len(g.statements)))
+			obs(p.c.met.flushBatches, 1)
+			obs(p.c.met.flushStatements, float64(len(g.statements)))
 			results, err := p.c.proveBatchWire(ctx, schema, g.statements)
 			for i, j := range g.jobs {
 				if err != nil {

@@ -33,6 +33,14 @@ for dir in $(find internal pkg -type d | sort); do
     done
 done
 
+# internal/metrics is named explicitly on top of the directory walk: its
+# doc.go carries the exposition-format contract every scraper depends on,
+# so a future rewrite of the walk above must not silently drop it.
+if [ ! -f internal/metrics/doc.go ]; then
+    echo "internal/metrics must keep its exposition contract in doc.go" >&2
+    status=1
+fi
+
 if [ "$status" -eq 0 ]; then
     echo "every internal/ and pkg/ package documents itself in doc.go"
 fi
