@@ -1,17 +1,28 @@
 // Command oddiscover mines order dependencies from CSV data: constants,
-// order-compatible attribute pairs, and a minimal OD set whose closure
-// covers everything the instance satisfies within the search bounds.
+// order-compatible attribute pairs, and an OD set whose closure covers
+// everything the instance satisfies within the search bounds.
 //
 // Usage:
 //
 //	oddiscover -maxlhs 1 -maxrhs 2 data.csv
 //	generate_csv | oddiscover -
+//	oddiscover -workers 8 -stream data.csv
+//	oddiscover -workers 8 -declare http://localhost:8080 -schema sales data.csv
 //
 // The first CSV record names the attributes; numeric-looking values compare
 // as numbers, everything else as strings.
+//
+// With -workers 0 (the default) discovery runs the sequential baseline and
+// reports a minimal OD set. Any other worker count runs the parallel
+// level-wise pipeline: closure and refutation pruning ahead of the data,
+// sorted-partition reuse per left-hand context, and — with -stream — each
+// OD printed the moment its lattice level commits. -declare pushes the
+// discovered set to a running odserve daemon through the client's batch
+// declare, landing it in the shard selected by -schema.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -21,20 +32,25 @@ import (
 
 	"odlib/internal/core"
 	"odlib/internal/discover"
+	"odlib/pkg/odclient"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "oddiscover:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("oddiscover", flag.ContinueOnError)
 	maxLHS := fs.Int("maxlhs", 1, "maximum left-hand list length")
 	maxRHS := fs.Int("maxrhs", 2, "maximum right-hand list length")
 	maxAttrs := fs.Int("maxattrs", 7, "maximum attribute count")
+	workers := fs.Int("workers", 0, "parallel validation workers; 0 = sequential baseline, <0 = GOMAXPROCS")
+	stream := fs.Bool("stream", false, "print each OD as its lattice level commits (implies the parallel pipeline)")
+	declare := fs.String("declare", "", "push discovered ODs to this odserve base URL via batch declare")
+	schema := fs.String("schema", "", "shard the -declare push targets")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,29 +70,81 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := discover.Discover(rel, discover.Options{
-		MaxLHS: *maxLHS, MaxRHS: *maxRHS, MaxAttrs: *maxAttrs,
-	})
-	if err != nil {
-		return err
+	opts := discover.Options{MaxLHS: *maxLHS, MaxRHS: *maxRHS, MaxAttrs: *maxAttrs}
+
+	var ods []core.OD
+	var constants core.List
+	fmt.Fprintf(out, "rows: %d, attributes: %v\n", rel.Len(), rel.Attrs())
+	if *workers != 0 || *stream {
+		w := *workers
+		if w < 0 {
+			w = 0 // pipeline default: GOMAXPROCS
+		}
+		var onFound func(core.OD)
+		if *stream {
+			onFound = func(od core.OD) { fmt.Fprintf(out, "found: %s\n", od) }
+		}
+		res, err := discover.Pipeline(context.Background(), rel, discover.PipelineOptions{
+			Options: opts,
+			Workers: w,
+			OnFound: onFound,
+		})
+		if err != nil {
+			return err
+		}
+		ods, constants = res.ODs, res.Constants
+		st := res.Stats
+		fmt.Fprintf(out, "candidates: %d, closure-pruned: %d, refutation-pruned: %d, data checks: %d\n",
+			st.Candidates, st.ClosurePruned, st.RefutationPruned, st.DataChecks)
+		fmt.Fprintf(out, "rows scanned: %d, partition cache: %d hits / %d misses\n",
+			st.RowsScanned, st.CacheHits, st.CacheMisses)
+	} else {
+		res, err := discover.Discover(rel, opts)
+		if err != nil {
+			return err
+		}
+		ods, constants = res.ODs, res.Constants
+		fmt.Fprintf(out, "candidates: %d, data checks: %d\n", res.Candidates, res.DataChecks)
 	}
-	fmt.Printf("rows: %d, attributes: %v\n", rel.Len(), rel.Attrs())
-	fmt.Printf("candidates: %d, data checks: %d\n", res.Candidates, res.DataChecks)
-	if len(res.Constants) > 0 {
-		fmt.Printf("constants: %v\n", res.Constants)
+	if len(constants) > 0 {
+		fmt.Fprintf(out, "constants: %v\n", constants)
 	}
 	pairs, err := discover.CompatiblePairs(rel)
 	if err != nil {
 		return err
 	}
 	for _, pr := range pairs {
-		fmt.Printf("compatible: [%s] ~ [%s]\n", pr[0], pr[1])
+		fmt.Fprintf(out, "compatible: [%s] ~ [%s]\n", pr[0], pr[1])
 	}
-	fmt.Printf("minimal OD set (%d):\n", len(res.ODs))
-	for _, od := range res.ODs {
-		fmt.Printf("  %s\n", od)
+	fmt.Fprintf(out, "OD set (%d):\n", len(ods))
+	for _, od := range ods {
+		fmt.Fprintf(out, "  %s\n", od)
+	}
+	if *declare != "" {
+		if err := declareODs(*declare, *schema, ods); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "declared %d ODs to %s\n", len(ods), *declare)
 	}
 	return nil
+}
+
+// declareODs pushes the discovered set through the client's batch declare:
+// one request, one WAL record, one closure rebuild on the target shard.
+func declareODs(url, schema string, ods []core.OD) error {
+	if len(ods) == 0 {
+		return nil
+	}
+	cli, err := odclient.New(url)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	stmts := make([]string, len(ods))
+	for i, od := range ods {
+		stmts[i] = od.String()
+	}
+	return cli.Declare(context.Background(), schema, stmts...)
 }
 
 func readCSV(in io.Reader) (*core.Relation, error) {

@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"odlib/internal/router"
+	"odlib/internal/server"
 )
 
 func TestReadCSV(t *testing.T) {
@@ -33,5 +40,74 @@ func TestReadCSV(t *testing.T) {
 	}
 	if _, err := readCSV(strings.NewReader("a,b\n1\n")); err == nil {
 		t.Error("ragged row must fail")
+	}
+}
+
+// calendarCSV is a small hierarchy: month determines quarter, era is constant.
+const calendarCSV = "month,quarter,era\n1,1,9\n2,1,9\n4,2,9\n5,2,9\n7,3,9\n10,4,9\n"
+
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cal.csv")
+	if err := os.WriteFile(path, []byte(calendarCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunStream: the parallel path streams ODs as found and reports the
+// pipeline's pruning counters.
+func TestRunStream(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workers", "4", "-stream", writeCSV(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "found: ") {
+		t.Errorf("no streamed ODs in output:\n%s", text)
+	}
+	if !strings.Contains(text, "refutation-pruned") || !strings.Contains(text, "partition cache") {
+		t.Errorf("pipeline counters missing:\n%s", text)
+	}
+	if !strings.Contains(text, "constants: [era]") {
+		t.Errorf("constant not reported:\n%s", text)
+	}
+}
+
+// TestRunSequential: the default path still reports the minimal baseline.
+func TestRunSequential(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{writeCSV(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "data checks:") {
+		t.Errorf("baseline counters missing:\n%s", out.String())
+	}
+}
+
+// TestRunDeclare pushes a discovery run into a live daemon and checks the
+// ODs landed in the target shard.
+func TestRunDeclare(t *testing.T) {
+	rt, err := router.Open(router.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := httptest.NewServer(server.New(rt))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-workers", "2", "-declare", ts.URL, "-schema", "cal", writeCSV(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "declared ") {
+		t.Errorf("declare not reported:\n%s", out.String())
+	}
+	l, err := rt.Listing("cal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Declared) == 0 {
+		t.Fatal("no ODs landed in the shard")
 	}
 }

@@ -14,6 +14,7 @@
 //	odserve -addr :8080 -data-dir /var/lib/odserve -wal-segment-bytes 1048576 -wal-segment-records 4096
 //	odserve -addr :8080 -data-dir /var/lib/odserve -fsync=false -shard-by-prefix
 //	odserve -addr :8080 -prove-workers 8 -prove-timeout 2s
+//	odserve -addr :8080 -discover-workers 8
 //	odserve -addr :8080 -log-requests -pprof-addr localhost:6060
 //	odserve -addr :8080 -data-dir /var/lib/odserve -backpressure-segments 8
 //
@@ -25,6 +26,7 @@
 //	curl -X POST localhost:8080/prove -d '{"statement": "[year, quarter, month] <-> [year, month]"}'
 //	curl -X POST localhost:8080/prove/batch -d '{"statements": ["[a] -> [c]", "[c] -> [a]"]}'
 //	curl -X POST localhost:8080/rewrite -d '{"order": "[year, quarter, month]"}'
+//	curl -X POST localhost:8080/discover -d '{"attrs": ["a", "b"], "rows": [[1, 10], [2, 20]], "declare": true}'
 //	curl -X POST localhost:8080/snapshot
 //	curl localhost:8080/generation
 //	curl localhost:8080/healthz
@@ -84,6 +86,7 @@ func run(args []string, ready chan<- string) (err error) {
 	proveWorkers := fs.Int("prove-workers", runtime.GOMAXPROCS(0), "goroutines per pattern search; 1 = sequential")
 	provePool := fs.Int("prove-pool", runtime.GOMAXPROCS(0), "extra search goroutines allowed across ALL concurrent proves (shared pool); 0 = every search runs inline, <0 = unbounded per-search fan-out")
 	proveTimeout := fs.Duration("prove-timeout", 0, "server-side bound on each prove/rewrite search; 0 = unbounded")
+	discoverWorkers := fs.Int("discover-workers", 0, "default validation parallelism for POST /discover runs; 0 = GOMAXPROCS")
 	backpressure := fs.Int("backpressure-segments", 0, "reject declares with 429 when a shard's compaction lag reaches this many sealed WAL segments; 0 = off")
 	logRequests := fs.Bool("log-requests", false, "log one structured line per request (method, path, status, shard, tier, duration)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = off")
@@ -148,6 +151,8 @@ func run(args []string, ready chan<- string) (err error) {
 	srvOpts := []server.Option{
 		server.WithProveTimeout(*proveTimeout),
 		server.WithTelemetry(tel),
+		server.WithDiscoverWorkers(*discoverWorkers),
+		server.WithDiscoverPool(pool),
 	}
 	if *logRequests {
 		srvOpts = append(srvOpts, server.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))

@@ -2,9 +2,10 @@ package discover
 
 import (
 	"fmt"
+	"sort"
 
+	"odlib/internal/catalog"
 	"odlib/internal/core"
-	"odlib/internal/prover"
 )
 
 // Options bounds the search.
@@ -33,13 +34,19 @@ func (o *Options) defaults() {
 
 // Result holds the discovery outcome.
 type Result struct {
-	Constants  core.List // attributes with a single value in the instance
-	ODs        []core.OD // discovered dependencies (minimal unless KeepRedundant)
-	Candidates int       // candidates enumerated
-	DataChecks int       // candidates validated against the data
+	Constants   core.List // attributes with a single value in the instance
+	ODs         []core.OD // discovered dependencies (minimal unless KeepRedundant)
+	Candidates  int       // candidates enumerated
+	DataChecks  int       // candidates validated against the data
+	RowsScanned int64     // full-relation passes × rows, across sorts and scans
 }
 
-// Discover infers the ODs of the instance within the option bounds.
+// Discover infers the ODs of the instance within the option bounds. It is
+// the sequential baseline the parallel Pipeline is differentially tested
+// (and benchmarked) against: candidates are enumerated shortest-first and
+// each one is either pruned by implication from the ODs found so far —
+// maintained incrementally in a catalog, never a from-scratch prover
+// rebuild — or validated against the data with a fresh sort-and-scan.
 func Discover(r *core.Relation, opts Options) (*Result, error) {
 	opts.defaults()
 	attrs := r.Attrs()
@@ -78,17 +85,22 @@ func Discover(r *core.Relation, opts Options) (*Result, error) {
 			cands = append(cands, cand{od, len(lhs) + len(rhs)})
 		}
 	}
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && less(cands[j], cands[j-1]); j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].size != cands[j].size {
+			return cands[i].size < cands[j].size
 		}
-	}
+		return cands[i].od.Key() < cands[j].od.Key()
+	})
 
-	p := prover.New(res.ODs)
+	// The found set lives in a catalog: each acceptance extends the closure
+	// incrementally and invalidates only the memo, instead of rebuilding a
+	// prover over the whole set per acceptance.
+	cat := catalog.New(catalog.WithMaxAttrs(len(attrs) + 1))
+	cat.Add(res.ODs...)
 	for _, c := range cands {
 		res.Candidates++
 		if !opts.KeepRedundant {
-			implied, err := p.Implies(c.od)
+			implied, err := cat.Implies(c.od)
 			if err != nil {
 				return nil, err
 			}
@@ -97,6 +109,7 @@ func Discover(r *core.Relation, opts Options) (*Result, error) {
 			}
 		}
 		res.DataChecks++
+		res.RowsScanned += 2 * int64(r.Len()) // one sort pass, one scan pass
 		holds, _, err := r.Satisfies(c.od)
 		if err != nil {
 			return nil, err
@@ -105,19 +118,9 @@ func Discover(r *core.Relation, opts Options) (*Result, error) {
 			continue
 		}
 		res.ODs = append(res.ODs, c.od)
-		p = prover.New(res.ODs)
+		cat.Add(c.od)
 	}
 	return res, nil
-}
-
-func less(a, b struct {
-	od   core.OD
-	size int
-}) bool {
-	if a.size != b.size {
-		return a.size < b.size
-	}
-	return a.od.Key() < b.od.Key()
 }
 
 // Constants returns the attributes holding a single value in the instance

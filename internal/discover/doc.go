@@ -3,11 +3,23 @@
 // determination for schema design; later work such as the authors' OD
 // discovery algorithms industrialized it).
 //
-// Discovery enumerates candidate ODs level-wise over duplicate-free
-// attribute lists, validates each against the data with the split/swap
-// check of internal/core, and keeps a minimal set: a candidate already
-// implied by the dependencies found so far (per the complete prover of
-// internal/prover) is redundant and dropped. The result is a small
-// generating set whose closure covers everything the instance satisfies
-// within the enumerated space.
+// Two paths share one candidate space. Discover is the sequential baseline:
+// candidates enumerated shortest-first over duplicate-free attribute lists,
+// each either pruned by implication from the ODs found so far (maintained
+// incrementally in an internal/catalog) or validated against the data with a
+// fresh sort-and-scan, yielding a minimal generating set.
+//
+// Pipeline is the parallel, level-wise engine. Each lattice level is pruned
+// three ways before touching data — the catalog's incremental closure
+// (holds by inference), refutation propagation through lexicographic
+// prefixes (fails by inference: a refuted X ↦ Y poisons every X ↦ YW, and a
+// swap additionally poisons every XW ↦ Y), and triviality — then the
+// survivors are grouped by left-hand context and fanned across a bounded
+// worker pool. Each context sorts the relation once into a cached
+// core.SortedPartition and answers all its right-hand candidates from that
+// order. Accepted ODs commit per level in one catalog Apply; the result is
+// complete for the enumerated space (its closure equals Discover's) though
+// not minimized within a level. All pruning decisions depend only on
+// previous levels' committed state, so the data-check counts are identical
+// across worker schedules.
 package discover

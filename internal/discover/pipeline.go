@@ -1,0 +1,377 @@
+package discover
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"odlib/internal/catalog"
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+// PipelineOptions configures the parallel discovery pipeline.
+type PipelineOptions struct {
+	Options
+
+	// Workers bounds the goroutines validating candidates against data;
+	// zero selects GOMAXPROCS.
+	Workers int
+
+	// Pool, when non-nil, is shared with the pruning catalog's implication
+	// searches — the same discipline every prover in the daemon follows, so
+	// discovery never oversubscribes a machine that is also serving proves.
+	Pool *prover.Pool
+
+	// CacheContexts bounds how many sorted partitions the context cache
+	// retains; zero selects unbounded (the context count is itself bounded
+	// by the LHS enumeration, which MaxAttrs and MaxLHS keep small).
+	CacheContexts int
+
+	// OnFound, when non-nil, is called with each accepted OD as its lattice
+	// level commits — the streaming hook. Calls arrive from the coordinating
+	// goroutine, in deterministic (level, then key) order.
+	OnFound func(od core.OD)
+}
+
+// PipelineStats counts the pipeline's work. All pruning counters are
+// scheduler-independent: which candidates reach the data depends only on the
+// previous levels' committed results, never on worker interleaving, so two
+// runs over the same relation perform the identical data checks.
+type PipelineStats struct {
+	Candidates       uint64 `json:"candidates"`       // non-trivial candidates enumerated
+	ClosurePruned    uint64 `json:"closurePruned"`    // implied by the accepted set's closure; hold by inference
+	RefutationPruned uint64 `json:"refutationPruned"` // refuted by prefix propagation; fail by inference
+	DataChecks       uint64 `json:"dataChecks"`       // candidates that reached the data
+	RowsScanned      uint64 `json:"rowsScanned"`      // full-relation passes × rows, across sorts and scans
+	CacheHits        uint64 `json:"cacheHits"`        // context cache hits (sorts avoided)
+	CacheMisses      uint64 `json:"cacheMisses"`      // context cache misses (sorts performed)
+	Accepted         uint64 `json:"accepted"`         // ODs found to hold and committed
+	Levels           int    `json:"levels"`           // lattice levels traversed
+}
+
+// PipelineResult is the outcome of a pipeline run.
+type PipelineResult struct {
+	// Constants lists the attributes holding a single value — the accepted
+	// level-1 ODs with empty left-hand sides.
+	Constants core.List
+	// ODs holds every accepted dependency. The set is complete for the
+	// enumerated space (its closure equals the sequential Discover result's
+	// closure) but not minimized within a level: two ODs of the same size
+	// that imply each other are both kept, because neither existed yet when
+	// the other was pruned against the previous levels' closure.
+	ODs   []core.OD
+	Stats PipelineStats
+}
+
+// candidate is one lattice node: an OD plus its precomputed pruning keys.
+type candidate struct {
+	od core.OD
+	// rhsPrefix keys the immediate RHS-prefix X ↦ Y[:|Y|-1] (empty when
+	// |Y| = 1: the prefix is trivial and cannot be refuted).
+	rhsPrefix string
+	// lhsPrefix keys the immediate LHS-prefix X[:|X|-1] ↦ Y (empty when X
+	// is already empty).
+	lhsPrefix string
+}
+
+// contextGroup is the unit of parallel work: every candidate of one level
+// sharing a left-hand context, answered over one cached sorted partition.
+type contextGroup struct {
+	lhs   core.List
+	cands []candidate
+}
+
+// groupOutcome is what a worker reports back for one context group.
+type groupOutcome struct {
+	accepted []core.OD
+	refuted  []refutation
+	pruned   uint64 // closure-pruned count
+	checks   uint64
+	rows     uint64
+	err      error
+}
+
+// refutation records a candidate known to fail, with the violation kind that
+// decides how it propagates: splits poison every RHS extension, swaps poison
+// RHS and LHS extensions both.
+type refutation struct {
+	key  string
+	kind core.ViolationKind
+}
+
+// Pipeline discovers the ODs of the instance with the level-wise parallel
+// algorithm: candidates are generated lattice level by level; each level is
+// pruned against the closure of everything accepted so far (asking the
+// catalog before ever touching data) and against refutations propagated from
+// prefix candidates; the survivors are validated in parallel, grouped by
+// left-hand context so each context sorts the relation once and answers all
+// its candidates from the cached order. Accepted ODs enter the catalog in one
+// incremental Apply per level — the closure extends, nothing is rebuilt.
+//
+// Cancelling ctx aborts the run between candidates and returns the context's
+// error; partial results are discarded.
+func Pipeline(ctx context.Context, r *core.Relation, opts PipelineOptions) (*PipelineResult, error) {
+	opts.defaults()
+	attrs := r.Attrs()
+	if len(attrs) > opts.MaxAttrs {
+		return nil, fmt.Errorf("discover: %d attributes exceed the limit of %d", len(attrs), opts.MaxAttrs)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The pruning catalog: accepted ODs go in via Apply, implication
+	// questions come out of the tier chain (closure first, search last).
+	// Search parallelism within one question stays at 1 — the pipeline's
+	// parallelism is across candidates — but the searches draw any extra
+	// goroutines they are granted from the shared pool.
+	catOpts := []catalog.Option{
+		catalog.WithMaxAttrs(len(attrs) + 1),
+		catalog.WithWorkers(1),
+	}
+	if opts.Pool != nil {
+		catOpts = append(catOpts,
+			catalog.WithWorkers(workers),
+			catalog.WithSearchPool(opts.Pool))
+	}
+	cat := catalog.New(catOpts...)
+
+	res := &PipelineResult{}
+	cache := core.NewSortCache(r, opts.CacheContexts)
+	refuted := make(map[string]core.ViolationKind)
+
+	// Bucket the enumerated lists by length once; level ℓ pairs every LHS of
+	// length i with every RHS of length ℓ-i ≥ 1.
+	lhsByLen := listsByLen(enumerateLists(attrs, opts.MaxLHS))
+	rhsByLen := listsByLen(enumerateLists(attrs, opts.MaxRHS))
+
+	maxLevel := opts.MaxLHS + opts.MaxRHS
+	for level := 1; level <= maxLevel; level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		groups := levelGroups(lhsByLen, rhsByLen, level, refuted, &res.Stats)
+		res.Stats.Levels = level
+		if len(groups) == 0 {
+			continue
+		}
+
+		outcomes := runGroups(ctx, groups, workers, func(g *contextGroup) groupOutcome {
+			return validateGroup(ctx, r, cat, cache, g, opts.KeepRedundant)
+		})
+
+		// Commit the level: accepted ODs enter the catalog in one Apply
+		// (one incremental closure extension), refutations extend the
+		// propagation map, and accepted ODs stream out in deterministic
+		// order.
+		var accepted []core.OD
+		for _, out := range outcomes {
+			if out.err != nil {
+				return nil, out.err
+			}
+			res.Stats.ClosurePruned += out.pruned
+			res.Stats.DataChecks += out.checks
+			res.Stats.RowsScanned += out.rows
+			accepted = append(accepted, out.accepted...)
+			for _, rf := range out.refuted {
+				refuted[rf.key] = rf.kind
+			}
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		core.SortODs(accepted)
+		cat.Apply([]catalog.Mutation{{ODs: accepted}})
+		res.Stats.Accepted += uint64(len(accepted))
+		for _, od := range accepted {
+			if od.LHS.Empty() && len(od.RHS) == 1 {
+				res.Constants = append(res.Constants, od.RHS[0])
+			}
+			if opts.OnFound != nil {
+				opts.OnFound(od)
+			}
+		}
+		res.ODs = append(res.ODs, accepted...)
+	}
+
+	_, hits, misses := cache.Stats()
+	res.Stats.CacheHits, res.Stats.CacheMisses = hits, misses
+	// Each cache miss paid one sort pass and one tie pass; hits paid nothing.
+	res.Stats.RowsScanned += 2 * misses * uint64(r.Len())
+	sort.Slice(res.Constants, func(i, j int) bool { return res.Constants[i] < res.Constants[j] })
+	return res, nil
+}
+
+// listsByLen buckets enumerated lists by their length.
+func listsByLen(lists []core.List) map[int][]core.List {
+	out := make(map[int][]core.List)
+	for _, l := range lists {
+		out[len(l)] = append(out[len(l)], l)
+	}
+	return out
+}
+
+// levelGroups enumerates the level's non-trivial candidates, applies the
+// refutation-propagation prune (recording the propagated refutations so the
+// next level can chain on them), and groups the survivors by left-hand
+// context. Pruning here needs no data and no locks: the refuted map is only
+// written between levels.
+//
+// The propagation rules are the set-based lattice prunes, sound by the
+// prefix semantics of lexicographic order:
+//
+//   - X ↦ Y refuted (any kind) refutes X ↦ YW: a pair ordered by X but
+//     misordered on Y stays misordered on any extension of Y.
+//   - X ↦ Y refuted by a swap refutes XW ↦ Y: the swap pair is strictly
+//     ordered by X, so it stays strictly ordered by XW.
+//
+// Splits do not propagate to LHS extensions — the violating pair ties on X
+// and the extension may break the tie either way.
+func levelGroups(lhsByLen, rhsByLen map[int][]core.List, level int,
+	refuted map[string]core.ViolationKind, stats *PipelineStats) []*contextGroup {
+	var groups []*contextGroup
+	byContext := make(map[string]*contextGroup)
+	for lhsLen := 0; lhsLen <= level-1; lhsLen++ {
+		rhsLen := level - lhsLen
+		rhss := rhsByLen[rhsLen]
+		for _, lhs := range lhsByLen[lhsLen] {
+			var g *contextGroup
+			for _, rhs := range rhss {
+				od := core.NewOD(lhs, rhs)
+				if od.Trivial() {
+					continue
+				}
+				stats.Candidates++
+				c := candidate{od: od}
+				if rhsLen > 1 {
+					c.rhsPrefix = core.NewOD(lhs, rhs.Prefix(rhsLen-1)).Key()
+				}
+				if lhsLen > 0 {
+					c.lhsPrefix = core.NewOD(lhs.Prefix(lhsLen-1), rhs).Key()
+				}
+				if kind, dead := propagates(c, refuted); dead {
+					stats.RefutationPruned++
+					refuted[od.Key()] = kind
+					continue
+				}
+				if g == nil {
+					if g = byContext[lhs.Key()]; g == nil {
+						g = &contextGroup{lhs: lhs}
+						byContext[lhs.Key()] = g
+						groups = append(groups, g)
+					}
+				}
+				g.cands = append(g.cands, c)
+			}
+		}
+	}
+	return groups
+}
+
+// propagates reports whether a candidate is refuted by prefix propagation,
+// and with which violation kind it should be recorded onward.
+func propagates(c candidate, refuted map[string]core.ViolationKind) (core.ViolationKind, bool) {
+	// An LHS-propagated swap stays a swap; prefer it when both prefixes
+	// prune, since swaps poison more of the lattice above.
+	if c.lhsPrefix != "" {
+		if kind, ok := refuted[c.lhsPrefix]; ok && kind == core.Swap {
+			return core.Swap, true
+		}
+	}
+	if c.rhsPrefix != "" {
+		if kind, ok := refuted[c.rhsPrefix]; ok {
+			return kind, true
+		}
+	}
+	return 0, false
+}
+
+// validateGroup answers one context group: closure-prune each candidate
+// through the catalog, then check the survivors against the data over the
+// context's cached sorted partition.
+func validateGroup(ctx context.Context, r *core.Relation, cat *catalog.Catalog,
+	cache *core.SortCache, g *contextGroup, keepRedundant bool) groupOutcome {
+	var out groupOutcome
+	var part *core.SortedPartition
+	for _, c := range g.cands {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		if !keepRedundant {
+			implied, err := cat.ImpliesCtx(ctx, c.od)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			if implied {
+				out.pruned++
+				continue
+			}
+		}
+		if part == nil {
+			p, err := cache.Get(g.lhs)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			part = p
+		}
+		out.checks++
+		out.rows += uint64(r.Len())
+		holds, v, err := r.SatisfiesWith(c.od, part)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if holds {
+			out.accepted = append(out.accepted, c.od)
+		} else {
+			out.refuted = append(out.refuted, refutation{key: c.od.Key(), kind: v.Kind})
+		}
+	}
+	return out
+}
+
+// runGroups fans the groups out over a bounded worker set and collects every
+// outcome. Work is pulled from a channel so large levels load-balance across
+// however many workers the caller allows.
+func runGroups(ctx context.Context, groups []*contextGroup, workers int,
+	do func(*contextGroup) groupOutcome) []groupOutcome {
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		out := make([]groupOutcome, len(groups))
+		for i, g := range groups {
+			out[i] = do(g)
+		}
+		return out
+	}
+	type job struct {
+		i int
+		g *contextGroup
+	}
+	jobs := make(chan job)
+	out := make([]groupOutcome, len(groups))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out[j.i] = do(j.g)
+			}
+		}()
+	}
+	for i, g := range groups {
+		jobs <- job{i, g}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

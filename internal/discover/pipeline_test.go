@@ -1,0 +1,162 @@
+package discover
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/prover"
+)
+
+// TestPipelineDifferentialClosure is the randomized differential test: the
+// parallel pipeline and the sequential Discover may return different OD sets
+// (the pipeline does not minimize within a lattice level), but their closures
+// must be identical — each side's prover must imply every OD of the other.
+func TestPipelineDifferentialClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	universe := core.L("A", "B", "C", "D")
+	for trial := 0; trial < 25; trial++ {
+		rows := 2 + rng.Intn(12)
+		domain := 1 + rng.Intn(4)
+		r := core.RandRelation(rng, universe, rows, domain)
+		opts := Options{MaxLHS: 2, MaxRHS: 2}
+
+		seq, err := Discover(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := Pipeline(context.Background(), r, PipelineOptions{
+			Options: opts,
+			Workers: 1 + rng.Intn(4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Every pipeline OD must genuinely hold on the instance.
+		for _, od := range pipe.ODs {
+			holds, v, err := r.Satisfies(od)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !holds {
+				t.Fatalf("trial %d: pipeline accepted %s which fails on data (%v)\n%s", trial, od, v, r)
+			}
+		}
+
+		seqProver := prover.New(seq.ODs)
+		pipeProver := prover.New(pipe.ODs)
+		if ok, err := seqProver.ImpliesAll(pipe.ODs); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			t.Fatalf("trial %d: sequential closure does not cover pipeline result\nseq: %v\npipe: %v\n%s",
+				trial, seq.ODs, pipe.ODs, r)
+		}
+		if ok, err := pipeProver.ImpliesAll(seq.ODs); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			t.Fatalf("trial %d: pipeline closure does not cover sequential result\nseq: %v\npipe: %v\n%s",
+				trial, seq.ODs, pipe.ODs, r)
+		}
+
+		if !pipe.Constants.Equal(seq.Constants) {
+			t.Fatalf("trial %d: constants differ: %v vs %v", trial, pipe.Constants, seq.Constants)
+		}
+		// Both paths enumerate the identical candidate space.
+		if int(pipe.Stats.Candidates) != seq.Candidates {
+			t.Fatalf("trial %d: candidates %d vs %d", trial, pipe.Stats.Candidates, seq.Candidates)
+		}
+		if pipe.Stats.Accepted != uint64(len(pipe.ODs)) {
+			t.Fatalf("trial %d: accepted %d but %d ODs", trial, pipe.Stats.Accepted, len(pipe.ODs))
+		}
+		if pipe.Stats.DataChecks+pipe.Stats.ClosurePruned+pipe.Stats.RefutationPruned > pipe.Stats.Candidates {
+			t.Fatalf("trial %d: stats overflow candidates: %+v", trial, pipe.Stats)
+		}
+	}
+}
+
+// TestPipelineSchedulerIndependence backs the CI gate: every pruning counter
+// must be identical across worker counts, because which candidates reach the
+// data depends only on previous levels' committed state, never on worker
+// interleaving.
+func TestPipelineSchedulerIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := core.RandRelation(rng, core.L("A", "B", "C", "D", "E"), 40, 4)
+	opts := Options{MaxLHS: 2, MaxRHS: 2}
+
+	var base *PipelineResult
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0) + 2} {
+		res, err := Pipeline(context.Background(), r, PipelineOptions{Options: opts, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if res.Stats != base.Stats {
+			t.Fatalf("stats differ across schedules:\nworkers=1: %+v\nworkers=%d: %+v",
+				base.Stats, workers, res.Stats)
+		}
+		if len(res.ODs) != len(base.ODs) {
+			t.Fatalf("OD count differs across schedules: %d vs %d", len(base.ODs), len(res.ODs))
+		}
+		for i := range res.ODs {
+			if res.ODs[i].Key() != base.ODs[i].Key() {
+				t.Fatalf("OD order differs across schedules at %d: %s vs %s",
+					i, base.ODs[i], res.ODs[i])
+			}
+		}
+	}
+}
+
+// TestPipelineStress hammers the worker pool under -race: a shared prover
+// pool, many workers, a bounded cache, and a streaming callback all at once.
+func TestPipelineStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pool := prover.NewPool(4)
+	for trial := 0; trial < 8; trial++ {
+		r := core.RandRelation(rng, core.L("A", "B", "C", "D", "E"), 64, 3)
+		var streamed []core.OD
+		res, err := Pipeline(context.Background(), r, PipelineOptions{
+			Options:       Options{MaxLHS: 2, MaxRHS: 2},
+			Workers:       8,
+			Pool:          pool,
+			CacheContexts: 4,
+			OnFound:       func(od core.OD) { streamed = append(streamed, od) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(res.ODs) {
+			t.Fatalf("trial %d: streamed %d ODs, result has %d", trial, len(streamed), len(res.ODs))
+		}
+		for i := range streamed {
+			if streamed[i].Key() != res.ODs[i].Key() {
+				t.Fatalf("trial %d: stream order diverges at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestPipelineCancellation: a cancelled context aborts between candidates.
+func TestPipelineCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := core.RandRelation(rng, core.L("A", "B", "C", "D"), 16, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Pipeline(ctx, r, PipelineOptions{Options: Options{MaxLHS: 2, MaxRHS: 2}}); err == nil {
+		t.Fatal("expected a context error from a cancelled pipeline")
+	}
+}
+
+// TestPipelineGuard: the attribute guard applies to the pipeline too.
+func TestPipelineGuard(t *testing.T) {
+	attrs := core.L("A", "B", "C", "D", "E", "F", "G", "H")
+	r := core.MustRelation(attrs)
+	if _, err := Pipeline(context.Background(), r, PipelineOptions{}); err == nil {
+		t.Fatal("expected the MaxAttrs guard to reject 8 attributes")
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"odlib/internal/core"
+	"odlib/internal/discover"
+)
+
+// discoverRequest carries a relation instance inline and the discovery
+// bounds. Rows are positional over Attrs; cell values are JSON numbers or
+// strings, and each column must be uniformly numeric or uniformly textual
+// (an all-integral numeric column is compared as integers). Declare feeds
+// every accepted OD back into the target shard through the batch-declare
+// path once discovery completes.
+type discoverRequest struct {
+	Schema        string   `json:"schema,omitempty"`
+	Attrs         []string `json:"attrs"`
+	Rows          [][]any  `json:"rows"`
+	MaxLHS        int      `json:"maxLHS,omitempty"`
+	MaxRHS        int      `json:"maxRHS,omitempty"`
+	MaxAttrs      int      `json:"maxAttrs,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	KeepRedundant bool     `json:"keepRedundant,omitempty"`
+	Declare       bool     `json:"declare,omitempty"`
+}
+
+// discoverSummary is the final NDJSON line of a discovery stream.
+type discoverSummary struct {
+	Constants []string               `json:"constants"`
+	ODs       int                    `json:"ods"`
+	Stats     discover.PipelineStats `json:"stats"`
+	Declared  *mutationJSON          `json:"declared,omitempty"`
+}
+
+// relationOf validates the inline instance and builds the relation. Column
+// kinds are inferred up front — any string makes the column textual, any
+// fractional number makes it float, otherwise integer — so every cell of a
+// column compares under one kind.
+func relationOf(req *discoverRequest) (*core.Relation, error) {
+	if len(req.Attrs) == 0 {
+		return nil, fmt.Errorf("no attributes given")
+	}
+	attrs := make(core.List, len(req.Attrs))
+	for i, a := range req.Attrs {
+		attrs[i] = core.Attribute(a)
+	}
+	r, err := core.NewRelation(attrs)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]core.Kind, len(attrs))
+	for i := range kinds {
+		kinds[i] = core.KindInt
+	}
+	for ri, row := range req.Rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("row %d has %d cells, schema has %d attributes", ri, len(row), len(attrs))
+		}
+		for ci, cell := range row {
+			switch v := cell.(type) {
+			case string:
+				kinds[ci] = core.KindString
+			case float64:
+				if kinds[ci] == core.KindString {
+					return nil, fmt.Errorf("row %d, attribute %s: number in a textual column", ri, attrs[ci])
+				}
+				if v != math.Trunc(v) {
+					kinds[ci] = core.KindFloat
+				}
+			default:
+				return nil, fmt.Errorf("row %d, attribute %s: unsupported value %v", ri, attrs[ci], cell)
+			}
+		}
+	}
+	for ri, row := range req.Rows {
+		vals := make([]core.Value, len(row))
+		for ci, cell := range row {
+			switch v := cell.(type) {
+			case string:
+				if kinds[ci] != core.KindString {
+					return nil, fmt.Errorf("row %d, attribute %s: string in a numeric column", ri, attrs[ci])
+				}
+				vals[ci] = core.Str(v)
+			case float64:
+				switch kinds[ci] {
+				case core.KindString:
+					return nil, fmt.Errorf("row %d, attribute %s: number in a textual column", ri, attrs[ci])
+				case core.KindFloat:
+					vals[ci] = core.Float(v)
+				default:
+					vals[ci] = core.Int(int64(v))
+				}
+			}
+		}
+		if err := r.AddRow(vals...); err != nil {
+			return nil, fmt.Errorf("row %d: %w", ri, err)
+		}
+	}
+	return r, nil
+}
+
+// handleDiscover runs the parallel discovery pipeline over an inline
+// relation and streams NDJSON: one {"od": ...} line per accepted dependency
+// as its lattice level commits, then one summary line with the run's stats
+// — and, with "declare": true, the mutation result of feeding the accepted
+// set back into the shard catalog through the batch-declare path.
+//
+// The stream begins before the outcome is known, so errors past the header
+// arrive as an {"error": ...} line terminating the stream rather than a
+// status code.
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req discoverRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rel, err := relationOf(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.discoverWorkers
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	ctx, cancel := s.proveCtx(r)
+	defer cancel()
+	res, err := discover.Pipeline(ctx, rel, discover.PipelineOptions{
+		Options: discover.Options{
+			MaxLHS:        req.MaxLHS,
+			MaxRHS:        req.MaxRHS,
+			MaxAttrs:      req.MaxAttrs,
+			KeepRedundant: req.KeepRedundant,
+		},
+		Workers: workers,
+		Pool:    s.discoverPool,
+		OnFound: func(od core.OD) {
+			emit(map[string]string{"od": od.String()})
+		},
+	})
+	if err != nil {
+		emit(map[string]string{"error": err.Error()})
+		return
+	}
+	if s.tel != nil {
+		s.tel.observeDiscover(res.Stats)
+	}
+
+	summary := discoverSummary{
+		Constants: make([]string, 0, len(res.Constants)),
+		ODs:       len(res.ODs),
+		Stats:     res.Stats,
+	}
+	for _, a := range res.Constants {
+		summary.Constants = append(summary.Constants, string(a))
+	}
+	if req.Declare && len(res.ODs) > 0 {
+		m, err := s.rt.Declare(req.Schema, res.ODs)
+		if err != nil {
+			emit(map[string]string{"error": fmt.Sprintf("declaring discovered ODs: %s", err)})
+			return
+		}
+		noteShard(r, m.Schema)
+		mj := mutationOf(m)
+		summary.Declared = &mj
+	}
+	emit(summary)
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"odlib/internal/store"
+)
+
+// postNDJSON posts a JSON body and returns the status, content type and the
+// decoded NDJSON lines of the response.
+func postNDJSON(t *testing.T, url string, body any) (int, string, []map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), lines
+}
+
+// TestDiscoverEndpoint drives a full discovery run through the daemon: the
+// response must stream NDJSON od lines followed by one summary, the
+// discovered ODs must land in the target shard via the batch-declare path,
+// and the discovery counters must appear on a strictly parsed /metrics
+// scrape afterwards.
+func TestDiscoverEndpoint(t *testing.T) {
+	ts, _, rt, _ := newTelemetryServer(t, "", store.Options{}, 0,
+		WithDiscoverWorkers(4))
+
+	// A small date hierarchy: month determines quarter, quarter determines
+	// half, and era is constant.
+	req := map[string]any{
+		"schema": "cal",
+		"attrs":  []string{"month", "quarter", "half", "era"},
+		"rows": [][]any{
+			{1, 1, 1, 9}, {2, 1, 1, 9}, {3, 1, 1, 9},
+			{4, 2, 1, 9}, {5, 2, 1, 9}, {6, 2, 1, 9},
+			{7, 3, 2, 9}, {8, 3, 2, 9}, {10, 4, 2, 9},
+		},
+		"maxLHS":  1,
+		"maxRHS":  1,
+		"declare": true,
+	}
+	code, ct, lines := postNDJSON(t, ts.URL+"/discover", req)
+	if code != 200 {
+		t.Fatalf("POST /discover = %d", code)
+	}
+	if ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("expected od lines plus a summary, got %v", lines)
+	}
+	for _, l := range lines {
+		if e, ok := l["error"]; ok {
+			t.Fatalf("stream carried an error: %v", e)
+		}
+	}
+	var odLines []string
+	for _, l := range lines[:len(lines)-1] {
+		od, ok := l["od"].(string)
+		if !ok {
+			t.Fatalf("non-od line before the summary: %v", l)
+		}
+		odLines = append(odLines, od)
+	}
+	summary := lines[len(lines)-1]
+	stats, ok := summary["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("last line is not a summary: %v", summary)
+	}
+	if n := summary["ods"].(float64); int(n) != len(odLines) {
+		t.Fatalf("summary counts %v ODs, stream carried %d", n, len(odLines))
+	}
+	if stats["dataChecks"].(float64) <= 0 || stats["candidates"].(float64) <= 0 {
+		t.Fatalf("degenerate stats: %v", stats)
+	}
+	consts, _ := summary["constants"].([]any)
+	if len(consts) != 1 || consts[0] != "era" {
+		t.Fatalf("constants = %v, want [era]", consts)
+	}
+
+	// The declare fed the shard: its catalog must now imply a discovered OD.
+	decl, ok := summary["declared"].(map[string]any)
+	if !ok {
+		t.Fatalf("summary has no declared mutation: %v", summary)
+	}
+	if decl["schema"] != "cal" || decl["declared"].(float64) <= 0 {
+		t.Fatalf("declared = %v", decl)
+	}
+	var prove struct {
+		Implied bool `json:"implied"`
+	}
+	if code := call(t, ts, "POST", "/prove", map[string]any{
+		"schema": "cal", "statement": "[month] -> [quarter]",
+	}, &prove); code != 200 || !prove.Implied {
+		t.Fatalf("shard does not imply a discovered OD: code=%d implied=%v", code, prove.Implied)
+	}
+	if gen, err := rt.GenerationOf("cal"); err != nil || gen == 0 {
+		t.Fatalf("shard generation after declare: %d, %v", gen, err)
+	}
+
+	// The counters scrape cleanly and carry the run.
+	fams := scrape(t, ts)
+	for name, min := range map[string]float64{
+		"odserve_discover_runs_total":           1,
+		"odserve_discover_candidates_total":     1,
+		"odserve_discover_data_checks_total":    1,
+		"odserve_discover_rows_scanned_total":   1,
+		"odserve_discover_accepted_ods_total":   1,
+		"odserve_discover_cache_misses_total":   1,
+		"odserve_discover_closure_pruned_total": 0,
+	} {
+		v, ok := sampleValue(fams, name, name, nil)
+		if !ok {
+			t.Fatalf("metric %s missing from scrape", name)
+		}
+		if v < min {
+			t.Fatalf("%s = %v, want >= %v", name, v, min)
+		}
+	}
+}
+
+// TestDiscoverEndpointNoDeclare: without "declare" the shard stays untouched.
+func TestDiscoverEndpointNoDeclare(t *testing.T) {
+	ts, _, rt, _ := newTelemetryServer(t, "", store.Options{}, 0)
+	req := map[string]any{
+		"attrs": []string{"a", "b"},
+		"rows":  [][]any{{1, 10}, {2, 20}, {3, 30}},
+	}
+	code, _, lines := postNDJSON(t, ts.URL+"/discover", req)
+	if code != 200 || len(lines) == 0 {
+		t.Fatalf("code=%d lines=%v", code, lines)
+	}
+	if _, ok := lines[len(lines)-1]["declared"]; ok {
+		t.Fatalf("summary carries a declare that was not requested: %v", lines[len(lines)-1])
+	}
+	gens := rt.Generations()
+	for name, g := range gens {
+		if g != 0 {
+			t.Fatalf("shard %q mutated: generation %d", name, g)
+		}
+	}
+}
+
+// TestDiscoverEndpointBadRequests: schema violations answer 400 before any
+// stream begins.
+func TestDiscoverEndpointBadRequests(t *testing.T) {
+	ts, _, _, _ := newTelemetryServer(t, "", store.Options{}, 0)
+	for name, req := range map[string]map[string]any{
+		"no attrs":      {"rows": [][]any{{1}}},
+		"ragged row":    {"attrs": []string{"a", "b"}, "rows": [][]any{{1}}},
+		"mixed column":  {"attrs": []string{"a"}, "rows": [][]any{{1}, {"x"}}},
+		"bool cell":     {"attrs": []string{"a"}, "rows": [][]any{{true}}},
+		"unknown field": {"attrs": []string{"a"}, "rows": [][]any{{1}}, "bogus": 1},
+	} {
+		code, _, _ := postNDJSON(t, ts.URL+"/discover", req)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400", name, code)
+		}
+	}
+}

@@ -13,17 +13,20 @@ import (
 
 	"odlib/internal/catalog"
 	"odlib/internal/core"
+	"odlib/internal/prover"
 	"odlib/internal/rewrite"
 	"odlib/internal/router"
 )
 
 // Server is the HTTP front end over a sharded constraint catalog.
 type Server struct {
-	rt           *router.Router
-	mux          *http.ServeMux
-	proveTimeout time.Duration
-	tel          *Telemetry
-	accessLog    *slog.Logger
+	rt              *router.Router
+	mux             *http.ServeMux
+	proveTimeout    time.Duration
+	tel             *Telemetry
+	accessLog       *slog.Logger
+	discoverWorkers int
+	discoverPool    *prover.Pool
 }
 
 // Option configures a Server.
@@ -49,6 +52,22 @@ func WithAccessLog(logger *slog.Logger) Option {
 	return func(s *Server) { s.accessLog = logger }
 }
 
+// WithDiscoverWorkers sets the default validation parallelism for POST
+// /discover runs that do not name their own worker count; zero or negative
+// falls through to the pipeline's default (GOMAXPROCS).
+func WithDiscoverWorkers(n int) Option {
+	return func(s *Server) { s.discoverWorkers = n }
+}
+
+// WithDiscoverPool shares the daemon's bounded prover pool with discovery
+// runs: the pipeline's pruning catalog draws its implication-search
+// goroutines from the same budget every serving prove draws from, so a
+// discovery run never oversubscribes a machine that is also answering
+// proves.
+func WithDiscoverPool(pool *prover.Pool) Option {
+	return func(s *Server) { s.discoverPool = pool }
+}
+
 // New builds a server over the given router.
 func New(rt *router.Router, opts ...Option) *Server {
 	s := &Server{rt: rt, mux: http.NewServeMux()}
@@ -62,6 +81,7 @@ func New(rt *router.Router, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /prove", s.handleProve)
 	s.mux.HandleFunc("POST /prove/batch", s.handleBatchProve)
 	s.mux.HandleFunc("POST /rewrite", s.handleRewrite)
+	s.mux.HandleFunc("POST /discover", s.handleDiscover)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /generation", s.handleGeneration)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -115,8 +135,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // to itself, anything else (bots probing paths) collapses to "other".
 var knownRoutes = map[string]bool{
 	"/ods": true, "/ods/batch": true, "/prove": true, "/prove/batch": true,
-	"/rewrite": true, "/snapshot": true, "/generation": true,
-	"/healthz": true, "/metrics": true,
+	"/rewrite": true, "/discover": true, "/snapshot": true,
+	"/generation": true, "/healthz": true, "/metrics": true,
 }
 
 func routeLabel(method, path string) string {

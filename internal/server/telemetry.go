@@ -2,6 +2,7 @@ package server
 
 import (
 	"odlib/internal/catalog"
+	"odlib/internal/discover"
 	"odlib/internal/metrics"
 	"odlib/internal/prover"
 	"odlib/internal/router"
@@ -48,6 +49,17 @@ type Telemetry struct {
 	proveSeconds  *metrics.HistogramVec // shard
 	rejections    *metrics.CounterVec   // shard
 	storeTel      store.Telemetry
+
+	// Discovery pipeline, observed once per completed POST /discover run.
+	discoverRuns             *metrics.Counter
+	discoverCandidates       *metrics.Counter
+	discoverClosurePruned    *metrics.Counter
+	discoverRefutationPruned *metrics.Counter
+	discoverDataChecks       *metrics.Counter
+	discoverRowsScanned      *metrics.Counter
+	discoverCacheHits        *metrics.Counter
+	discoverCacheMisses      *metrics.Counter
+	discoverAccepted         *metrics.Counter
 }
 
 // NewTelemetry builds the registry and every hot-path instrument. The five
@@ -78,6 +90,24 @@ func NewTelemetry() *Telemetry {
 		rejections: reg.NewCounterVec("odserve_backpressure_rejections_total",
 			"Mutations rejected by compaction-lag admission control, by shard.",
 			[]string{"shard"}),
+		discoverRuns: reg.NewCounter("odserve_discover_runs_total",
+			"Completed POST /discover pipeline runs."),
+		discoverCandidates: reg.NewCounter("odserve_discover_candidates_total",
+			"Candidate ODs enumerated across discovery runs."),
+		discoverClosurePruned: reg.NewCounter("odserve_discover_closure_pruned_total",
+			"Candidates pruned by the incremental closure (hold by inference, no data touched)."),
+		discoverRefutationPruned: reg.NewCounter("odserve_discover_refutation_pruned_total",
+			"Candidates pruned by prefix refutation propagation (fail by inference, no data touched)."),
+		discoverDataChecks: reg.NewCounter("odserve_discover_data_checks_total",
+			"Candidates validated against relation data."),
+		discoverRowsScanned: reg.NewCounter("odserve_discover_rows_scanned_total",
+			"Rows scanned across discovery sorts and validation passes."),
+		discoverCacheHits: reg.NewCounter("odserve_discover_cache_hits_total",
+			"Sorted-partition cache hits (relation sorts avoided)."),
+		discoverCacheMisses: reg.NewCounter("odserve_discover_cache_misses_total",
+			"Sorted-partition cache misses (relation sorts performed)."),
+		discoverAccepted: reg.NewCounter("odserve_discover_accepted_ods_total",
+			"ODs discovered to hold and committed."),
 	}
 	t.storeTel = store.Telemetry{
 		CommitSeconds: reg.NewHistogram("odserve_wal_commit_seconds",
@@ -97,6 +127,20 @@ func NewTelemetry() *Telemetry {
 		t.tierSeconds.With(tier)
 	}
 	return t
+}
+
+// observeDiscover folds one completed pipeline run's stats into the
+// discovery counters.
+func (t *Telemetry) observeDiscover(st discover.PipelineStats) {
+	t.discoverRuns.Inc()
+	t.discoverCandidates.Add(float64(st.Candidates))
+	t.discoverClosurePruned.Add(float64(st.ClosurePruned))
+	t.discoverRefutationPruned.Add(float64(st.RefutationPruned))
+	t.discoverDataChecks.Add(float64(st.DataChecks))
+	t.discoverRowsScanned.Add(float64(st.RowsScanned))
+	t.discoverCacheHits.Add(float64(st.CacheHits))
+	t.discoverCacheMisses.Add(float64(st.CacheMisses))
+	t.discoverAccepted.Add(float64(st.Accepted))
 }
 
 // Registry exposes the underlying registry — the GET /metrics handler, and

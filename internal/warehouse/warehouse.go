@@ -177,6 +177,17 @@ func (w *Warehouse) Verify() error {
 	return nil
 }
 
+// DateDimRelation converts the generated date dimension into a core
+// relation — the instance OD discovery mines. The dimension's 7 attributes
+// sit exactly at the discovery layer's default attribute budget, and its
+// calendar structure mixes monotone attributes (surrogate key, date, week
+// sequence), hierarchy edges (month determines quarter) and cyclical ones
+// (day-of-month, month-of-year), so discovered sets exercise every
+// violation kind.
+func (w *Warehouse) DateDimRelation() (*core.Relation, error) {
+	return dimAsRelation(w.DateDim)
+}
+
 // dimAsRelation converts an engine table to a core relation for constraint
 // checking.
 func dimAsRelation(t *engine.Table) (*core.Relation, error) {
