@@ -17,6 +17,7 @@
 //	odserve -addr :8080 -discover-workers 8
 //	odserve -addr :8080 -log-requests -pprof-addr localhost:6060
 //	odserve -addr :8080 -data-dir /var/lib/odserve -backpressure-segments 8
+//	odserve -addr :8081 -follow http://leader:8080 -data-dir /var/lib/odserve-replica -max-lag-records 64
 //
 // Endpoints (see internal/server):
 //
@@ -55,6 +56,7 @@ import (
 	"odlib/internal/catalog"
 	"odlib/internal/core"
 	"odlib/internal/prover"
+	"odlib/internal/replica"
 	"odlib/internal/router"
 	"odlib/internal/server"
 	"odlib/internal/store"
@@ -90,8 +92,14 @@ func run(args []string, ready chan<- string) (err error) {
 	backpressure := fs.Int("backpressure-segments", 0, "reject declares with 429 when a shard's compaction lag reaches this many sealed WAL segments; 0 = off")
 	logRequests := fs.Bool("log-requests", false, "log one structured line per request (method, path, status, shard, tier, duration)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = off")
+	follow := fs.String("follow", "", "run as a read-only follower tailing this leader URL (e.g. http://leader:8080)")
+	pollInterval := fs.Duration("poll-interval", replica.DefaultPollInterval, "follower: leader poll cadence")
+	maxLagRecords := fs.Int("max-lag-records", 0, "follower: refuse proves when trailing the leader by more than this many WAL records; 0 = serve at any lag")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" && *odsFile != "" {
+		return fmt.Errorf("-ods cannot be combined with -follow: a follower's constraints come from its leader")
 	}
 
 	// The telemetry registry is built before the router so every layer's
@@ -122,6 +130,8 @@ func run(args []string, ready chan<- string) (err error) {
 		ShardByPrefix:        *shardByPrefix,
 		BackpressureSegments: *backpressure,
 		Telemetry:            tel.RouterTelemetry(),
+		Follower:             *follow != "",
+		MaxLagRecords:        *maxLagRecords,
 	})
 	if err != nil {
 		return err
@@ -135,6 +145,20 @@ func run(args []string, ready chan<- string) (err error) {
 		}
 	}()
 	logRecovery(rt)
+
+	if *follow != "" {
+		tailer, terr := replica.New(replica.Options{
+			Leader:       *follow,
+			Router:       rt,
+			PollInterval: *pollInterval,
+		})
+		if terr != nil {
+			return terr
+		}
+		tailer.Start()
+		defer tailer.Close()
+		log.Printf("following leader %s (poll every %v, max lag %d records)", *follow, *pollInterval, *maxLagRecords)
+	}
 
 	if *odsFile != "" {
 		n, skipped, err := preload(rt, *odsFile)
@@ -153,6 +177,9 @@ func run(args []string, ready chan<- string) (err error) {
 		server.WithTelemetry(tel),
 		server.WithDiscoverWorkers(*discoverWorkers),
 		server.WithDiscoverPool(pool),
+	}
+	if *follow != "" {
+		srvOpts = append(srvOpts, server.WithLeader(*follow))
 	}
 	if *logRequests {
 		srvOpts = append(srvOpts, server.WithAccessLog(slog.New(slog.NewTextHandler(os.Stderr, nil))))

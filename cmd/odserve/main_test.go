@@ -151,10 +151,10 @@ func TestWarmStartRestart(t *testing.T) {
 	}
 
 	proveStatements := []string{
-		"[s_a] -> [s_d]",          // implied transitively on shard sales
-		"[s_d] -> [s_a]",          // refuted
-		"[month] -> [quarter]",    // implied on default
-		"[week] -> [quarter]",     // refuted: the link was withdrawn
+		"[s_a] -> [s_d]",                           // implied transitively on shard sales
+		"[s_d] -> [s_a]",                           // refuted
+		"[month] -> [quarter]",                     // implied on default
+		"[week] -> [quarter]",                      // refuted: the link was withdrawn
 		"[year, quarter, month] <-> [year, month]", // implied via [month] -> [quarter]
 	}
 	capture := func(base string) (listing map[string]any, verdicts []bool) {
@@ -273,5 +273,124 @@ func TestPreloadErrors(t *testing.T) {
 	err := run([]string{"-ods", bad}, nil)
 	if err == nil || !strings.Contains(err.Error(), "bad.txt") {
 		t.Fatalf("err = %v, want parse failure naming the file", err)
+	}
+}
+
+// TestFollowerDaemon is the end-to-end flag test for -follow: a leader and a
+// follower daemon run side by side in this process, the follower tails the
+// leader over real HTTP, serves proves at the leader's generation, and
+// misdirects mutations to the leader's address. One SIGTERM stops both.
+func TestFollowerDaemon(t *testing.T) {
+	leaderBase, leaderDone := startDaemon(t,
+		"-addr", "127.0.0.1:0", "-data-dir", t.TempDir(), "-drain", "2s",
+		"-wal-segment-records", "2")
+	postJSON(t, leaderBase+"/ods",
+		`{"schema": "sales", "statements": ["[month] -> [quarter]", "[quarter] -> [year]"]}`, nil)
+
+	followerBase, followerDone := startDaemon(t,
+		"-addr", "127.0.0.1:0", "-data-dir", t.TempDir(), "-drain", "2s",
+		"-follow", leaderBase, "-poll-interval", "10ms")
+
+	type genResp struct {
+		Shards map[string]uint64 `json:"shards"`
+	}
+	waitCaughtUp := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var lg, fg genResp
+			getJSON(t, leaderBase+"/generation", &lg)
+			getJSON(t, followerBase+"/generation", &fg)
+			if len(fg.Shards) == len(lg.Shards) {
+				caught := true
+				for shard, gen := range lg.Shards {
+					if fg.Shards[shard] != gen {
+						caught = false
+						break
+					}
+				}
+				if caught {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("follower never caught up: leader %+v, follower %+v", lg, fg)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	waitCaughtUp()
+
+	// Reads serve on the follower with leader verdicts.
+	var prove struct {
+		Implied bool `json:"implied"`
+	}
+	postJSON(t, followerBase+"/prove", `{"schema": "sales", "statement": "[month] -> [year]"}`, &prove)
+	if !prove.Implied {
+		t.Fatal("follower does not imply the leader's transitive chain")
+	}
+
+	// Mutations misdirect with the leader's address in the body.
+	resp, err := http.Post(followerBase+"/ods", "application/json",
+		strings.NewReader(`{"schema": "sales", "statements": ["[a] -> [b]"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var misdirect struct {
+		Leader string `json:"leader"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&misdirect); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower mutation = %d, want 421", resp.StatusCode)
+	}
+	if misdirect.Leader != leaderBase {
+		t.Fatalf("misdirect leader = %q, want %q", misdirect.Leader, leaderBase)
+	}
+
+	// New leader history reaches the follower while both keep running.
+	postJSON(t, leaderBase+"/ods", `{"schema": "sales", "statements": ["[year] -> [decade]"]}`, nil)
+	waitCaughtUp()
+	postJSON(t, followerBase+"/prove", `{"schema": "sales", "statement": "[month] -> [decade]"}`, &prove)
+	if !prove.Implied {
+		t.Fatal("follower missed the post-start declare")
+	}
+
+	// Replica health shows on the follower only.
+	var health healthz
+	getJSON(t, followerBase+"/healthz", &health)
+	if !health.OK || health.Shards["sales"].Replica == nil {
+		t.Fatalf("follower healthz = %+v, want OK with replica status", health)
+	}
+
+	// One SIGTERM, two clean exits.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"leader": leaderDone, "follower": followerDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s exited with %v", name, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s did not shut down", name)
+		}
+	}
+}
+
+// TestFollowerFlagValidation: -follow excludes preloading, which only makes
+// sense on a leader.
+func TestFollowerFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "ods.txt")
+	if err := os.WriteFile(file, []byte("[a] -> [b]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-follow", "http://127.0.0.1:1", "-ods", file}, nil)
+	if err == nil || !strings.Contains(err.Error(), "-follow") {
+		t.Fatalf("err = %v, want -ods/-follow conflict", err)
 	}
 }

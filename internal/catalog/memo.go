@@ -161,6 +161,20 @@ func (v MemoView) Put(key string, verdict prover.Verdict) {
 // preferred eviction victims.
 func (m *VerdictMemo) Invalidate() uint64 { return m.gen.Add(1) }
 
+// seed fast-forwards the generation counter to at least gen, so a recovered
+// or replicated catalog resumes the leader's generation numbering instead of
+// restarting at one. A no-op when the counter is already at or past gen;
+// existing entries stamped with older generations simply become stale, which
+// the view machinery already handles.
+func (m *VerdictMemo) seed(gen uint64) {
+	for {
+		cur := m.gen.Load()
+		if gen <= cur || m.gen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
 // Generation returns the current memo generation.
 func (m *VerdictMemo) Generation() uint64 { return m.gen.Load() }
 

@@ -1,0 +1,121 @@
+package catalog
+
+import "odlib/internal/core"
+
+// This file holds the generation-trajectory primitives replication rests on.
+// The catalog's generation is a deterministic function of its applied
+// mutation history: it starts at zero and bumps exactly once per EFFECTIVE
+// Apply call (one that changes the declared set). Snapshots pin the value at
+// their cut seq, recovery seeds it forward with EffectiveBatches over the
+// replayed suffix, and a follower replaying the leader's WAL records
+// one-per-Apply therefore lands on the SAME generation number at the same
+// applied seq — which is what makes "generation lag" an exact cross-process
+// contract and lets clients mix verdicts from leader and replicas in one
+// generation-keyed cache.
+
+// SeedGeneration fast-forwards the catalog's generation counter to gen
+// without touching the declared set. Recovery calls it after the coalesced
+// replay Apply so the daemon resumes the pre-restart numbering instead of
+// restarting at one. A no-op when the catalog is already at or past gen.
+func (c *Catalog) SeedGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen <= c.gen {
+		return
+	}
+	c.memo.seed(gen)
+	c.gen = gen
+	// The declared set is unchanged, so every negative-closure witness stays
+	// valid; advancing with no additions just restamps the validity window.
+	c.neg.advance(c.gen, nil)
+	c.refreshLocked()
+}
+
+// ResetTo replaces the entire declared set with ods at generation gen — the
+// snapshot-bootstrap path, when a follower's replay position was compacted
+// away on the leader and it must jump to the leader's snapshot instead. The
+// swap happens in place under the catalog lock, so concurrent readers keep
+// proving against their own immutable pre-reset snapshots and the next read
+// sees the new state. Negative-closure witnesses are revalidated against the
+// net-added ODs, exactly as a live Apply would.
+//
+// On the aligned-generation trajectory a bootstrap only ever moves forward;
+// if the target generation does not advance the local one but the set
+// changed anyway (a diverged leader), the generation bumps locally so no
+// stale memoized verdict can be served for the new set.
+func (c *Catalog) ResetTo(gen uint64, ods []core.OD) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.declared
+	next := newODSet()
+	var netAdded []core.OD
+	for _, od := range ods {
+		od = canon(od)
+		if od.Trivial() {
+			continue
+		}
+		if next.add(od) && !old.has(od) {
+			netAdded = append(netAdded, od)
+		}
+	}
+	changed := len(netAdded) > 0
+	if !changed {
+		for _, od := range old.slice() {
+			if !next.has(od) {
+				changed = true
+				break
+			}
+		}
+	}
+	c.declared = next
+	switch {
+	case gen > c.gen:
+		c.memo.seed(gen)
+		c.gen = gen
+	case changed:
+		c.gen = c.memo.Invalidate()
+	}
+	if changed || gen > 0 {
+		c.neg.advance(c.gen, netAdded)
+	}
+	c.rebuildLocked()
+	return c.statsLocked()
+}
+
+// EffectiveBatches replays batches over base with membership bookkeeping
+// only — no closure, no prover — and reports how many of them a live catalog
+// would have counted as effective, i.e. how many generation bumps the same
+// history produces. Recovery uses it to seed the generation after a single
+// coalesced Apply: seed = snapshot generation + EffectiveBatches(snapshot
+// ODs, one batch per replayed WAL record). The simulation mirrors
+// ApplyEffective exactly: ODs canonicalize first, trivial ODs never declare,
+// and a batch counts if any add or remove actually changed the set.
+func EffectiveBatches(base []core.OD, batches [][]Mutation) uint64 {
+	set := newODSet()
+	for _, od := range base {
+		od = canon(od)
+		if !od.Trivial() {
+			set.add(od)
+		}
+	}
+	var bumps uint64
+	for _, muts := range batches {
+		effective := false
+		for _, m := range muts {
+			for _, od := range m.ODs {
+				od = canon(od)
+				if m.Remove {
+					if set.remove(od) {
+						effective = true
+					}
+				} else if !od.Trivial() && set.add(od) {
+					effective = true
+				}
+			}
+		}
+		if effective {
+			bumps++
+		}
+	}
+	return bumps
+}

@@ -1,0 +1,121 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"odlib/internal/core"
+)
+
+func TestSeedGeneration(t *testing.T) {
+	c := New()
+	c.Apply([]Mutation{{ODs: mustODs(t, "[A] -> [B]")}})
+	base := c.Generation()
+	c.SeedGeneration(base + 10)
+	if got := c.Generation(); got != base+10 {
+		t.Fatalf("seeded generation = %d, want %d", got, base+10)
+	}
+	// Seeding backwards is a no-op: generations only move forward.
+	c.SeedGeneration(base)
+	if got := c.Generation(); got != base+10 {
+		t.Fatalf("backward seed moved generation to %d", got)
+	}
+	// The declared set is untouched and an effective apply still bumps.
+	if ok, _ := c.Implies(od(t, "[A] -> [B]")); !ok {
+		t.Fatal("seed lost the declared set")
+	}
+	c.Apply([]Mutation{{ODs: mustODs(t, "[B] -> [C]")}})
+	if got := c.Generation(); got != base+11 {
+		t.Fatalf("post-seed apply generation = %d, want %d", got, base+11)
+	}
+}
+
+func TestSeedGenerationInvalidatesNothing(t *testing.T) {
+	c := New()
+	c.Apply([]Mutation{{ODs: mustODs(t, "[A] -> [B]; [B] -> [C]")}})
+	// Warm the memo.
+	if ok, _ := c.Implies(od(t, "[A] -> [C]")); !ok {
+		t.Fatal("closure broken")
+	}
+	c.SeedGeneration(c.Generation() + 3)
+	// Same set, same verdict — and the verdict must carry the new stamp.
+	impl, _, gen, err := c.ImpliesAllWitness(mustODs(t, "[A] -> [C]"))
+	if err != nil || !impl {
+		t.Fatalf("post-seed implies = %v, %v", impl, err)
+	}
+	if gen != c.Generation() {
+		t.Fatalf("verdict stamped %d, generation is %d", gen, c.Generation())
+	}
+}
+
+func TestResetToReplacesSet(t *testing.T) {
+	c := New()
+	c.Apply([]Mutation{{ODs: mustODs(t, "[A] -> [B]; [X] -> [Y]")}})
+	st := c.ResetTo(40, mustODs(t, "[A] -> [B]; [B] -> [C]"))
+	if c.Generation() != 40 {
+		t.Fatalf("generation = %d, want 40", c.Generation())
+	}
+	if st.Declared != 2 {
+		t.Fatalf("declared = %d, want 2", st.Declared)
+	}
+	if ok, _ := c.Implies(od(t, "[A] -> [C]")); !ok {
+		t.Fatal("reset set does not imply [A] -> [C]")
+	}
+	if ok, _ := c.Implies(od(t, "[X] -> [Y]")); ok {
+		t.Fatal("reset kept the withdrawn [X] -> [Y]")
+	}
+}
+
+func TestResetToDivergedSetBumpsLocally(t *testing.T) {
+	c := New()
+	c.Apply([]Mutation{{ODs: mustODs(t, "[A] -> [B]")}})
+	c.SeedGeneration(100)
+	before := c.Generation()
+	// Target generation does not advance but the set changes: the local
+	// generation must still move so no memoized verdict survives.
+	c.ResetTo(50, mustODs(t, "[C] -> [D]"))
+	if c.Generation() <= before {
+		t.Fatalf("diverged reset left generation at %d (was %d)", c.Generation(), before)
+	}
+	if ok, _ := c.Implies(od(t, "[A] -> [B]")); ok {
+		t.Fatal("diverged reset kept the old set")
+	}
+}
+
+// TestEffectiveBatchesMatchesLiveCatalog is the differential guard for the
+// generation trajectory: for random mutation histories, the membership-only
+// simulation must count exactly the bumps a live catalog performs — that
+// equality is what makes snapshot-seeded recovery land on the leader's
+// numbering.
+func TestEffectiveBatchesMatchesLiveCatalog(t *testing.T) {
+	attrs := []string{"A", "B", "C", "D"}
+	rng := rand.New(rand.NewSource(7))
+	randOD := func() core.OD {
+		l := core.Attribute(attrs[rng.Intn(len(attrs))])
+		r := core.Attribute(attrs[rng.Intn(len(attrs))])
+		return core.OD{LHS: core.List{l}, RHS: core.List{r}}
+	}
+	for trial := 0; trial < 50; trial++ {
+		base := []core.OD{randOD(), randOD()}
+		var batches [][]Mutation
+		for i := 0; i < 12; i++ {
+			muts := []Mutation{{
+				ODs:    []core.OD{randOD()},
+				Remove: rng.Intn(3) == 0,
+			}}
+			batches = append(batches, muts)
+		}
+
+		live := New()
+		live.Apply([]Mutation{{ODs: base}})
+		start := live.Generation()
+		for _, muts := range batches {
+			live.Apply(muts)
+		}
+		wantBumps := live.Generation() - start
+
+		if got := EffectiveBatches(base, batches); got != wantBumps {
+			t.Fatalf("trial %d: EffectiveBatches = %d, live catalog bumped %d", trial, got, wantBumps)
+		}
+	}
+}

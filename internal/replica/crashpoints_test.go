@@ -1,0 +1,100 @@
+package replica
+
+import (
+	"testing"
+
+	"odlib/internal/router"
+)
+
+// TestFollowerCrashAtEveryByteOffset kills a follower after ingesting every
+// possible byte prefix of a leader segment, restarts it from disk, finishes
+// the ship, and demands exact generation and verdict equality each time.
+// This sweeps every torn-frame boundary: mid-length-header, mid-CRC,
+// mid-payload, exactly-on-frame-end. A recovery that re-applies a record
+// (generation too high) or drops one (too low, or wrong verdicts) fails at
+// the offset that exposes it.
+func TestFollowerCrashAtEveryByteOffset(t *testing.T) {
+	const schema = "ships"
+	leader, err := router.Open(router.Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for _, stmt := range matrixDeclares[:4] {
+		if _, err := leader.Declare(schema, parseODs(t, stmt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := leader.SegmentState()[schema]
+	if len(ss.Segments) != 1 {
+		t.Fatalf("want one segment, got %d", len(ss.Segments))
+	}
+	info := ss.Segments[0]
+	raw, _, err := leader.ReadSegment(schema, info.Index, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen, err := leader.GenerationOf(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts := probeVerdicts(t, leader, schema)
+
+	for k := 0; k <= len(raw); k++ {
+		dir := t.TempDir()
+		f1, err := router.Open(router.Options{DataDir: dir, Follower: true})
+		if err != nil {
+			t.Fatalf("offset %d: %v", k, err)
+		}
+		if err := f1.NoteLeader(schema, ss.AppliedSeq, ss.Generation); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f1.FollowerIngest(schema, info.Index, 0, raw[:k]); err != nil {
+			t.Fatalf("offset %d: partial ingest: %v", k, err)
+		}
+		// Crash: no seal, no graceful anything beyond what Close flushes —
+		// the on-disk segment holds exactly the k-byte prefix.
+		if err := f1.Close(); err != nil {
+			t.Fatalf("offset %d: close: %v", k, err)
+		}
+
+		// Restart and finish the ship from the recovered watermark.
+		f2, err := router.Open(router.Options{DataDir: dir, Follower: true})
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", k, err)
+		}
+		if err := f2.NoteLeader(schema, ss.AppliedSeq, ss.Generation); err != nil {
+			t.Fatal(err)
+		}
+		_, size, _, _ := f2.FollowerNext(schema)
+		if size > int64(k) {
+			t.Fatalf("offset %d: recovered size %d exceeds what was ever written", k, size)
+		}
+		if _, err := f2.FollowerIngest(schema, info.Index, size, raw[size:]); err != nil {
+			t.Fatalf("offset %d: resume ingest at %d: %v", k, size, err)
+		}
+		// An overlapping re-send (retry from zero) must be absorbed, not
+		// re-applied.
+		if _, err := f2.FollowerIngest(schema, info.Index, 0, raw); err != nil {
+			t.Fatalf("offset %d: overlap re-send: %v", k, err)
+		}
+		f2.NotePoll(nil)
+
+		gen, err := f2.GenerationOf(schema)
+		if err != nil {
+			t.Fatalf("offset %d: %v", k, err)
+		}
+		if gen != wantGen {
+			t.Fatalf("offset %d: follower generation %d, leader %d", k, gen, wantGen)
+		}
+		got := probeVerdicts(t, f2, schema)
+		for i := range wantVerdicts {
+			if got[i] != wantVerdicts[i] {
+				t.Fatalf("offset %d: probe %q: follower %v, leader %v", k, matrixProbes[i], got[i], wantVerdicts[i])
+			}
+		}
+		if err := f2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

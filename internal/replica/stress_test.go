@@ -1,0 +1,138 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"odlib/internal/metrics"
+	"odlib/internal/server"
+	"odlib/internal/store"
+)
+
+// TestReplicaMetricsUnderStress runs the full follower surface concurrently
+// — a background tailer, leader mutations, leader compactions, and a scraper
+// hammering the follower's /metrics and /healthz — under the race detector
+// in CI. Every scrape must strict-parse, the replica applied-seq gauge must
+// never move backwards, and lag gauges must never go negative: collectors
+// read live router state, so this is where torn reads would surface.
+func TestReplicaMetricsUnderStress(t *testing.T) {
+	const schema = "ships"
+	lf := newLeader(t, store.Options{SegmentRecords: 2})
+	lf.declare(schema, matrixDeclares[0])
+
+	ff := newFollower(t, lf.URL(), nil, 0)
+	ff.tailer.Start()
+
+	tel := server.NewTelemetry()
+	tel.ObserveRouter(ff.rt, nil)
+	fsrv := httptest.NewServer(server.New(ff.rt, server.WithTelemetry(tel), server.WithLeader(lf.URL())))
+	defer fsrv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Leader churn: declares, removes, and the occasional compaction.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 150; i++ {
+			stmt := fmt.Sprintf("[x%d] -> [y%d]", i%7, i%5)
+			if i%5 == 4 {
+				lf.remove(schema, stmt)
+			} else {
+				lf.declare(schema, stmt)
+			}
+			if i%40 == 39 {
+				if _, err := lf.Router().SnapshotOne(schema); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	}()
+
+	// Scraper: strict-parse /metrics, sanity-check /healthz, and hold the
+	// applied-seq gauge to monotonicity across scrapes.
+	lastApplied := map[string]float64{}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			resp, err := fsrv.Client().Get(fsrv.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fams, perr := metrics.ParseText(resp.Body)
+			resp.Body.Close()
+			if perr != nil {
+				t.Errorf("scrape %d: %v", i, perr)
+				return
+			}
+			if f := fams["odserve_replica_applied_seq"]; f != nil {
+				for _, s := range f.Samples {
+					shard := s.Labels["shard"]
+					if s.Value < lastApplied[shard] {
+						t.Errorf("scrape %d: applied_seq[%s] went backwards: %v -> %v",
+							i, shard, lastApplied[shard], s.Value)
+					}
+					lastApplied[shard] = s.Value
+				}
+			}
+			for _, name := range []string{"odserve_replica_lag_records", "odserve_replica_lag_generations"} {
+				if f := fams[name]; f != nil {
+					for _, s := range f.Samples {
+						if s.Value < 0 {
+							t.Errorf("scrape %d: %s = %v", i, name, s.Value)
+						}
+					}
+				}
+			}
+
+			hresp, err := fsrv.Client().Get(fsrv.URL + "/healthz")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var health map[string]any
+			herr := json.NewDecoder(hresp.Body).Decode(&health)
+			hresp.Body.Close()
+			if herr != nil {
+				t.Errorf("scrape %d: healthz body: %v", i, herr)
+				return
+			}
+			if hresp.StatusCode != http.StatusOK && hresp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("scrape %d: healthz = %d", i, hresp.StatusCode)
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiesce and converge: after the dust settles the follower must be
+	// healthy, synced, and verdict-identical.
+	ff.sync()
+	assertConverged(t, lf.Router(), ff.rt, schema, matrixProbes)
+
+	resp, err := fsrv.Client().Get(fsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"odserve_replica_applied_seq", "odserve_replica_lag_records",
+		"odserve_replica_polls_total", "odserve_replica_synced",
+	} {
+		if fams[name] == nil || len(fams[name].Samples) == 0 {
+			t.Fatalf("metric %s missing after stress", name)
+		}
+	}
+	if v := fams["odserve_replica_synced"].Samples[0].Value; v != 1 {
+		t.Fatalf("odserve_replica_synced = %v after explicit sync", v)
+	}
+}

@@ -31,6 +31,34 @@ var errBackpressure = errors.New("compaction backpressure")
 // IsBackpressure reports whether err is an admission-control rejection.
 func IsBackpressure(err error) bool { return errors.Is(err, errBackpressure) }
 
+// errReadOnly tags mutations routed at a follower: replicas replay the
+// leader's log and accept no writes of their own. The HTTP layer maps it to
+// 421 (Misdirected Request) carrying the leader's URL.
+var errReadOnly = errors.New("read-only replica")
+
+// IsReadOnly reports whether err is a mutation-on-follower rejection.
+func IsReadOnly(err error) bool { return errors.Is(err, errReadOnly) }
+
+// ReadOnlyError returns an IsReadOnly-tagged rejection when this router is a
+// follower, nil on a leader. Callers that would mutate through a side door
+// (discovery's declare-back, for one) use it to refuse before any work runs.
+func (r *Router) ReadOnlyError(what string) error {
+	if !r.opt.Follower {
+		return nil
+	}
+	return fmt.Errorf("router: %w: %s", errReadOnly, what)
+}
+
+// errLag tags follower reads refused because the replica has fallen further
+// behind its leader than the configured bound (or has never synced at all).
+// Refusing beats answering: a verdict from an over-stale constraint set is
+// exactly the wrong-answer mode replication must never introduce. The HTTP
+// layer maps it to 503 with Retry-After.
+var errLag = errors.New("replica lag exceeded")
+
+// IsLagExceeded reports whether err is a staleness-bound refusal.
+func IsLagExceeded(err error) bool { return errors.Is(err, errLag) }
+
 // DefaultShard is the shard of requests that name no schema; its directory
 // on disk is dirDefault.
 const DefaultShard = ""
@@ -59,6 +87,19 @@ type Options struct {
 	// durable snapshot does not cover — has reached this count. Reads and
 	// proves are never rejected. 0 disables admission control.
 	BackpressureSegments int
+	// Follower opens every shard read-only: recovery uses follower-mode
+	// stores (no WAL writer, no compactor), records arrive only through
+	// FollowerIngest/FollowerBootstrap (driven by internal/replica's tailer),
+	// and mutations fail with IsReadOnly errors. With an empty DataDir the
+	// follower is a pure cache: it re-tails from scratch on restart.
+	Follower bool
+	// MaxLagRecords bounds follower staleness: prove and rewrite reads are
+	// refused with IsLagExceeded errors while the replica's applied watermark
+	// trails the leader's last-polled applied seq by more than this many
+	// records, or before the first successful poll. 0 serves at any lag.
+	// Listings and generation reads always serve — they carry the generation
+	// stamp, so the caller can judge staleness itself.
+	MaxLagRecords int
 	// Telemetry installs per-shard observation hooks; nil disables them.
 	Telemetry *Telemetry
 }
@@ -82,7 +123,20 @@ type Telemetry struct {
 type Shard struct {
 	name string
 	cat  *catalog.Catalog
-	st   *store.Store // nil when the router is ephemeral
+	st   *store.Store // nil when the router is ephemeral or a follower
+
+	// Follower-mode state: fs persists fetched segments (nil on a pure-cache
+	// follower, which parses into eph instead); replMu guards the leader's
+	// last-polled position and the fetch counters.
+	fs         *store.FollowerStore
+	eph        *ephSegment
+	replMu     sync.Mutex
+	leaderSeq  uint64
+	leaderGen  uint64
+	fetches    uint64
+	fetchedB   uint64
+	seals      uint64
+	bootstraps uint64
 
 	// tel and backpressure are copied from the router's Options at open, so
 	// the hot mutation path never reaches back through the router.
@@ -113,6 +167,13 @@ type Router struct {
 	// empty answers reads routed at shards that do not exist without
 	// materializing them: an absent shard implies an empty constraint set.
 	empty *catalog.Catalog
+
+	// Follower-wide poll bookkeeping, written by the replica tailer.
+	pollMu      sync.Mutex
+	lastPoll    time.Time
+	polls       uint64
+	pollErrors  uint64
+	lastPollErr string
 }
 
 // Open builds a router. With a data dir it recovers every existing shard
@@ -201,7 +262,25 @@ func (r *Router) openShard(name string) (*Shard, error) {
 		backpressure: r.opt.BackpressureSegments,
 	}
 	sh.applyCond = sync.NewCond(&sh.applyMu)
-	if r.opt.DataDir != "" {
+	switch {
+	case r.opt.Follower:
+		if r.opt.DataDir != "" {
+			dir := name
+			if dir == DefaultShard {
+				dir = dirDefault
+			}
+			fs, snap, replay, err := store.OpenFollower(filepath.Join(r.opt.DataDir, dir))
+			if err != nil {
+				return nil, fmt.Errorf("router: opening follower shard %q: %w", name, err)
+			}
+			seq := recoverCatalog(sh.cat, snap, replay)
+			sh.fs = fs
+			sh.nextApply = seq + 1
+		} else {
+			sh.eph = &ephSegment{}
+			sh.nextApply = 1
+		}
+	case r.opt.DataDir != "":
 		dir := name
 		if dir == DefaultShard {
 			dir = dirDefault
@@ -210,25 +289,7 @@ func (r *Router) openShard(name string) (*Shard, error) {
 		if err != nil {
 			return nil, fmt.Errorf("router: opening shard %q: %w", name, err)
 		}
-		muts := make([]catalog.Mutation, 0, len(replay)+1)
-		if len(snap.ODs) > 0 {
-			muts = append(muts, catalog.Mutation{ODs: snap.ODs})
-		}
-		for _, rec := range replay {
-			switch rec.Op {
-			case store.OpRemove:
-				muts = append(muts, catalog.Mutation{Remove: true, ODs: rec.ODs})
-			case store.OpBatch:
-				muts = append(muts,
-					catalog.Mutation{ODs: rec.ODs},
-					catalog.Mutation{Remove: true, ODs: rec.Removes})
-			default:
-				muts = append(muts, catalog.Mutation{ODs: rec.ODs})
-			}
-		}
-		if len(muts) > 0 {
-			sh.cat.Apply(muts)
-		}
+		recoverCatalog(sh.cat, snap, replay)
 		sh.st = st
 		sh.nextApply = st.Seq() + 1
 		// The store compacts in the background from the shard's durably
@@ -239,16 +300,61 @@ func (r *Router) openShard(name string) (*Shard, error) {
 	return sh, nil
 }
 
+// recMutations converts one WAL record to the catalog mutation batch the
+// live path applied for it — the shared shape between leader recovery,
+// follower recovery and follower live replay.
+func recMutations(rec store.Record) []catalog.Mutation {
+	switch rec.Op {
+	case store.OpRemove:
+		return []catalog.Mutation{{Remove: true, ODs: rec.ODs}}
+	case store.OpBatch:
+		return []catalog.Mutation{
+			{ODs: rec.ODs},
+			{Remove: true, ODs: rec.Removes},
+		}
+	default:
+		return []catalog.Mutation{{ODs: rec.ODs}}
+	}
+}
+
+// recoverCatalog rebuilds cat from a snapshot plus its replay suffix with
+// ONE coalesced Apply (one lock, one closure rebuild — recovery speed), then
+// seeds the generation to where the record-at-a-time live path would have
+// left it: snapshot generation + the number of effective replayed records.
+// Generation thereby stays a deterministic function of the applied history
+// across restarts — the invariant replication's "generation lag" contract
+// rests on. Returns the last applied seq.
+func recoverCatalog(cat *catalog.Catalog, snap store.Snapshot, replay []store.Record) uint64 {
+	batches := make([][]catalog.Mutation, 0, len(replay))
+	muts := make([]catalog.Mutation, 0, len(replay)+1)
+	if len(snap.ODs) > 0 {
+		muts = append(muts, catalog.Mutation{ODs: snap.ODs})
+	}
+	seq := snap.Seq
+	for _, rec := range replay {
+		rm := recMutations(rec)
+		batches = append(batches, rm)
+		muts = append(muts, rm...)
+		seq = rec.Seq
+	}
+	if len(muts) > 0 {
+		cat.Apply(muts)
+	}
+	cat.SeedGeneration(snap.Gen + catalog.EffectiveBatches(snap.ODs, batches))
+	return seq
+}
+
 // appliedState is the shard's snapshot source: the last applied sequence
-// number and the declared set at exactly that point, read atomically under
-// the apply lock. The compactor calls it at the start of every compaction;
-// holding applyMu for the duration of the Declared copy is the only moment
-// compaction and the writer path share a lock — snapshot serialization and
-// file I/O all happen outside it.
-func (sh *Shard) appliedState() (uint64, []core.OD) {
+// number, the catalog generation at that point, and the declared set at
+// exactly that point, read atomically under the apply lock. The compactor
+// calls it at the start of every compaction; holding applyMu for the
+// duration of the Declared copy is the only moment compaction and the writer
+// path share a lock — snapshot serialization and file I/O all happen outside
+// it.
+func (sh *Shard) appliedState() (uint64, uint64, []core.OD) {
 	sh.applyMu.Lock()
 	defer sh.applyMu.Unlock()
-	return sh.nextApply - 1, sh.cat.Declared()
+	return sh.nextApply - 1, sh.cat.Generation(), sh.cat.Declared()
 }
 
 // shard returns an existing shard, or nil.
@@ -352,6 +458,9 @@ func (r *Router) Remove(schema string, ods []core.OD) (MutationResult, error) {
 }
 
 func (r *Router) mutate(schema string, op store.Op, ods []core.OD) (MutationResult, error) {
+	if r.opt.Follower {
+		return MutationResult{}, fmt.Errorf("router: %w: mutations must go to the leader", errReadOnly)
+	}
 	key, err := r.SchemaFor(schema, ods)
 	if err != nil {
 		return MutationResult{}, err
@@ -490,6 +599,9 @@ type BatchOp struct {
 // cross-shard batches are not atomic, each shard is. Results are per shard,
 // keyed by shard name.
 func (r *Router) ApplyBatch(ops []BatchOp) (map[string]MutationResult, error) {
+	if r.opt.Follower {
+		return nil, fmt.Errorf("router: %w: mutations must go to the leader", errReadOnly)
+	}
 	type bucket struct {
 		declares []core.OD
 		removes  []core.OD
@@ -560,6 +672,9 @@ func (r *Router) ProveOne(ctx context.Context, schema string, ods []core.OD) (ca
 	if err != nil {
 		return catalog.ProveResult{}, 0, "", err
 	}
+	if err := r.CheckReadLag(key, 0); err != nil {
+		return catalog.ProveResult{}, 0, "", err
+	}
 	start := time.Now()
 	res, gen := r.readCatalog(key).ProveEachCtx(ctx, [][]core.OD{ods})
 	r.observeProve(key, start)
@@ -608,6 +723,11 @@ func (r *Router) ProveBatch(ctx context.Context, schema string, stmts [][]core.O
 		g.qs = append(g.qs, ods)
 	}
 	out := make([]BatchVerdict, len(stmts))
+	for _, key := range order {
+		if err := r.CheckReadLag(key, 0); err != nil {
+			return nil, err
+		}
+	}
 	for _, key := range order {
 		g := groups[key]
 		start := time.Now()
@@ -686,10 +806,12 @@ func (r *Router) SchemaForList(explicit string, l core.List) (string, error) {
 // component, so an orchestrator reads the per-shard verdict without
 // diffing raw counters.
 type ShardStats struct {
-	OK      bool          `json:"ok"`
-	Reason  string        `json:"reason,omitempty"`
-	Catalog catalog.Stats `json:"catalog"`
-	Store   *store.Stats  `json:"store,omitempty"`
+	OK       bool                 `json:"ok"`
+	Reason   string               `json:"reason,omitempty"`
+	Catalog  catalog.Stats        `json:"catalog"`
+	Store    *store.Stats         `json:"store,omitempty"`
+	Follower *store.FollowerStats `json:"follower,omitempty"`
+	Replica  *ReplicaStatus       `json:"replica,omitempty"`
 }
 
 // Stats fans out across shards.
@@ -711,6 +833,17 @@ func (r *Router) Stats() map[string]ShardStats {
 				ss.OK, ss.Reason = false, "snapshot: "+st.SnapshotError
 			case st.CompactionError != "":
 				ss.OK, ss.Reason = false, "compaction: "+st.CompactionError
+			}
+		}
+		if r.opt.Follower {
+			if sh.fs != nil {
+				fst := sh.fs.Stats()
+				ss.Follower = &fst
+			}
+			rs := r.replicaStatus(sh)
+			ss.Replica = &rs
+			if err := r.CheckReadLag(name, 0); err != nil {
+				ss.OK, ss.Reason = false, "replication: "+err.Error()
 			}
 		}
 		out[name] = ss
@@ -742,12 +875,18 @@ type SnapshotResult struct {
 // skipped. Writers are never blocked: compaction snapshots off the apply
 // path by design.
 func (r *Router) SnapshotAll() (map[string]SnapshotResult, error) {
+	if r.opt.Follower {
+		return nil, fmt.Errorf("router: %w: snapshots are cut by the leader", errReadOnly)
+	}
 	return r.snapshotNames(r.ShardNames())
 }
 
 // SnapshotOne compacts the named shard alone — the default shard when
 // schema is empty, which SnapshotAll cannot address individually.
 func (r *Router) SnapshotOne(schema string) (map[string]SnapshotResult, error) {
+	if r.opt.Follower {
+		return nil, fmt.Errorf("router: %w: snapshots are cut by the leader", errReadOnly)
+	}
 	if err := ValidSchema(schema); err != nil {
 		return nil, err
 	}
@@ -798,6 +937,11 @@ func (r *Router) Close() error {
 	for _, sh := range r.shards {
 		if sh.st != nil {
 			if err := sh.st.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if sh.fs != nil {
+			if err := sh.fs.Close(); err != nil && first == nil {
 				first = err
 			}
 		}

@@ -122,6 +122,14 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Declare {
+		// Refuse before the stream starts: once NDJSON is flowing the status
+		// code is spent, and a follower can never honor the declare-back.
+		if err := s.rt.ReadOnlyError("discovered ODs must be declared on the leader"); err != nil {
+			s.writeRouterError(w, err)
+			return
+		}
+	}
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.discoverWorkers

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"odlib/internal/core"
+	"odlib/internal/router"
+	"odlib/internal/store"
+)
+
+func itoa(n uint64) string  { return strconv.FormatUint(n, 10) }
+func itoa64(n int64) string { return strconv.FormatInt(n, 10) }
+
+func mustParse(t *testing.T, stmt string) []core.OD {
+	t.Helper()
+	ods, err := core.ParseStatement(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ods
+}
+
+// getRaw fetches a path and returns status, headers, and the raw body.
+func getRaw(t *testing.T, ts *httptest.Server, path string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+func TestSegmentShippingEndpoints(t *testing.T) {
+	rt, err := router.Open(router.Options{DataDir: t.TempDir(), Store: store.Options{SegmentRecords: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(rt))
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+
+	// Three single-statement declares on a named shard and one on the
+	// default shard.
+	for _, stmt := range []string{"[a] -> [b]", "[b] -> [c]", "[c] -> [d]"} {
+		if code := call(t, ts, "POST", "/ods", map[string]any{
+			"schema": "sales", "statements": []string{stmt},
+		}, nil); code != 200 {
+			t.Fatalf("declare = %d", code)
+		}
+	}
+	if code := call(t, ts, "POST", "/ods", map[string]any{
+		"statements": []string{"[x] -> [y]"},
+	}, nil); code != 200 {
+		t.Fatalf("default declare = %d", code)
+	}
+
+	// The table of contents: shards keyed by wire name, the default shard
+	// spelled "@default".
+	var feed struct {
+		Shards map[string]router.ShardSegments `json:"shards"`
+	}
+	if code := call(t, ts, "GET", "/segments", nil, &feed); code != 200 {
+		t.Fatalf("GET /segments = %d", code)
+	}
+	sales, ok := feed.Shards["sales"]
+	if !ok {
+		t.Fatalf("no sales shard in feed: %v", feed.Shards)
+	}
+	if _, ok := feed.Shards["@default"]; !ok {
+		t.Fatalf("default shard not aliased to @default: %v", feed.Shards)
+	}
+	if sales.AppliedSeq != 3 || len(sales.Segments) < 2 {
+		t.Fatalf("sales feed = %+v", sales)
+	}
+
+	// Full fetch of the first (sealed) segment: raw bytes plus size/sealed
+	// headers.
+	info := sales.Segments[0]
+	code, hdr, body := getRaw(t, ts, "/segments/sales/"+itoa(info.Index))
+	if code != 200 {
+		t.Fatalf("segment fetch = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if int64(len(body)) != info.Size || hdr.Get("X-OD-Segment-Size") != itoa64(info.Size) {
+		t.Fatalf("size: body=%d header=%q want %d", len(body), hdr.Get("X-OD-Segment-Size"), info.Size)
+	}
+	if hdr.Get("X-OD-Segment-Sealed") != "true" {
+		t.Fatalf("sealed header = %q", hdr.Get("X-OD-Segment-Sealed"))
+	}
+
+	// Ranged fetch resumes mid-segment and respects the limit.
+	code, _, ranged := getRaw(t, ts, "/segments/sales/"+itoa(info.Index)+"?offset=4&limit=8")
+	if code != 200 || !bytes.Equal(ranged, body[4:12]) {
+		t.Fatalf("ranged fetch = %d, %d bytes", code, len(ranged))
+	}
+
+	// Errors: unknown segment and unknown shard are 404, malformed ranges
+	// and indexes are 400.
+	for path, want := range map[string]int{
+		"/segments/sales/999999":        404,
+		"/segments/nowhere/1":           404,
+		"/segments/sales/snapshot":      404, // no snapshot written yet
+		"/segments/sales/notanumber":    400,
+		"/segments/sales/1?offset=-1":   400,
+		"/segments/sales/1?limit=junk":  400,
+		"/segments/sales/1?offset=junk": 400,
+	} {
+		if code, _, _ := getRaw(t, ts, path); code != want {
+			t.Errorf("GET %s = %d, want %d", path, code, want)
+		}
+	}
+
+	// After compaction the snapshot item serves and parses.
+	if _, err := rt.SnapshotOne("sales"); err != nil {
+		t.Fatal(err)
+	}
+	code, _, snapBody := getRaw(t, ts, "/segments/sales/snapshot")
+	if code != 200 {
+		t.Fatalf("snapshot fetch = %d", code)
+	}
+	var snap store.Snapshot
+	if err := json.Unmarshal(snapBody, &snap); err != nil {
+		t.Fatalf("snapshot body: %v", err)
+	}
+	if snap.Seq != 3 {
+		t.Fatalf("snapshot seq = %d, want 3", snap.Seq)
+	}
+}
+
+// shipTo copies every leader segment into a follower router the way the
+// tailer would, so server tests can stage a caught-up or lagging follower
+// without HTTP.
+func shipTo(t *testing.T, leader, follower *router.Router) {
+	t.Helper()
+	for name, ss := range leader.SegmentState() {
+		if err := follower.NoteLeader(name, ss.AppliedSeq, ss.Generation); err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range ss.Segments {
+			b, fresh, err := leader.ReadSegment(name, info.Index, 0, 1<<30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := follower.FollowerIngest(name, info.Index, 0, b); err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Sealed {
+				if err := follower.FollowerSeal(name, info.Index, fresh.Size); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	follower.NotePoll(nil)
+}
+
+func TestFollowerHTTPRefusesMutationsAndBoundsLag(t *testing.T) {
+	leader, err := router.Open(router.Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	if _, err := leader.Declare("sales", mustParse(t, "[month] -> [quarter]")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Declare("sales", mustParse(t, "[quarter] -> [year]")); err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := router.Open(router.Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipTo(t, leader, follower)
+	const leaderURL = "http://leader.example:8080"
+	ts := httptest.NewServer(New(follower, WithLeader(leaderURL)))
+	t.Cleanup(func() { ts.Close(); follower.Close() })
+
+	// Every mutation answers 421 with the leader's address in the body.
+	refused := []struct {
+		method, path string
+		body         any
+	}{
+		{"POST", "/ods", map[string]any{"schema": "sales", "statements": []string{"[a] -> [b]"}}},
+		{"DELETE", "/ods", map[string]any{"schema": "sales", "statements": []string{"[month] -> [quarter]"}}},
+		{"POST", "/ods/batch", map[string]any{"schema": "sales", "declare": []string{"[a] -> [b]"}}},
+		{"POST", "/snapshot", nil},
+		{"POST", "/discover", map[string]any{
+			"schema": "sales", "attrs": []string{"a"}, "rows": [][]any{{1}, {2}}, "declare": true,
+		}},
+	}
+	for _, rc := range refused {
+		var errBody struct {
+			Error  string `json:"error"`
+			Leader string `json:"leader"`
+		}
+		code := call(t, ts, rc.method, rc.path, rc.body, &errBody)
+		if code != http.StatusMisdirectedRequest {
+			t.Errorf("%s %s = %d, want 421", rc.method, rc.path, code)
+			continue
+		}
+		if errBody.Leader != leaderURL {
+			t.Errorf("%s %s: leader = %q, want %q", rc.method, rc.path, errBody.Leader, leaderURL)
+		}
+	}
+
+	// Pure (non-declaring) discovery is a read and still serves.
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(map[string]any{
+		"schema": "disc", "attrs": []string{"a"}, "rows": [][]any{{1}, {2}},
+	})
+	resp, err := ts.Client().Post(ts.URL+"/discover", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("read-only discover on follower = %d", resp.StatusCode)
+	}
+
+	// Caught up, proves serve — with or without a client staleness bound.
+	var prove struct {
+		Implied bool `json:"implied"`
+	}
+	if code := call(t, ts, "POST", "/prove", map[string]string{
+		"schema": "sales", "statement": "[month] -> [year]",
+	}, &prove); code != 200 || !prove.Implied {
+		t.Fatalf("caught-up prove = %d %+v", code, prove)
+	}
+
+	// The leader runs ahead without shipping. A client bound of 1 against a
+	// lag of 2 refuses with 503, Retry-After, and the leader's address.
+	if _, err := leader.Declare("sales", mustParse(t, "[year] -> [decade]")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Declare("sales", mustParse(t, "[decade] -> [century]")); err != nil {
+		t.Fatal(err)
+	}
+	ss := leader.SegmentState()["sales"]
+	if err := follower.NoteLeader("sales", ss.AppliedSeq, ss.Generation); err != nil {
+		t.Fatal(err)
+	}
+
+	reqBody, _ := json.Marshal(map[string]string{"schema": "sales", "statement": "[month] -> [year]"})
+	req, _ := http.NewRequest("POST", ts.URL+"/prove", bytes.NewReader(reqBody))
+	req.Header.Set("X-OD-Max-Lag-Records", "1")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-lag prove = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("over-lag prove carries no Retry-After")
+	}
+	var lagErr struct {
+		Leader string `json:"leader"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lagErr); err != nil || lagErr.Leader != leaderURL {
+		t.Fatalf("over-lag body leader = %q (%v), want %q", lagErr.Leader, err, leaderURL)
+	}
+
+	// Without the header the follower's own bound (none) governs: serves.
+	if code := call(t, ts, "POST", "/prove", map[string]string{
+		"schema": "sales", "statement": "[month] -> [year]",
+	}, &prove); code != 200 {
+		t.Fatalf("unbounded prove at lag = %d", code)
+	}
+
+	// A lagging read labels /healthz: still a valid report, not-OK shard.
+	var health healthz
+	call(t, ts, "GET", "/healthz", nil, &health)
+	if health.Shards["sales"].Replica == nil {
+		t.Fatal("follower healthz has no replica status")
+	}
+	if health.Shards["sales"].Replica.LagRecords != 2 {
+		t.Fatalf("healthz lag = %d, want 2", health.Shards["sales"].Replica.LagRecords)
+	}
+}

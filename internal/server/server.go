@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"odlib/internal/catalog"
@@ -27,6 +28,7 @@ type Server struct {
 	accessLog       *slog.Logger
 	discoverWorkers int
 	discoverPool    *prover.Pool
+	leader          string
 }
 
 // Option configures a Server.
@@ -83,6 +85,8 @@ func New(rt *router.Router, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /rewrite", s.handleRewrite)
 	s.mux.HandleFunc("POST /discover", s.handleDiscover)
 	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /segments", s.handleSegments)
+	s.mux.HandleFunc("GET /segments/{shard}/{item}", s.handleSegment)
 	s.mux.HandleFunc("GET /generation", s.handleGeneration)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.tel != nil {
@@ -135,13 +139,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // to itself, anything else (bots probing paths) collapses to "other".
 var knownRoutes = map[string]bool{
 	"/ods": true, "/ods/batch": true, "/prove": true, "/prove/batch": true,
-	"/rewrite": true, "/discover": true, "/snapshot": true,
+	"/rewrite": true, "/discover": true, "/snapshot": true, "/segments": true,
 	"/generation": true, "/healthz": true, "/metrics": true,
 }
 
 func routeLabel(method, path string) string {
 	if knownRoutes[path] {
 		return path
+	}
+	if strings.HasPrefix(path, "/segments/") {
+		return "/segments/{shard}/{item}"
 	}
 	_ = method
 	return "other"
@@ -297,7 +304,7 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
 	}
 	res, err := apply(req.Schema, ods)
 	if err != nil {
-		writeRouterError(w, err)
+		s.writeRouterError(w, err)
 		return
 	}
 	noteShard(r, res.Schema)
@@ -305,27 +312,40 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request,
 }
 
 // statusOf maps router errors: invalid schemas are client errors,
-// backpressure rejections ask the client to slow down, failed durability is
-// a server error.
+// backpressure rejections ask the client to slow down, mutations against a
+// follower are misdirected (421 — go talk to the leader), a follower past its
+// staleness bound refuses reads with 503, and failed durability is a server
+// error.
 func statusOf(err error) int {
 	switch {
 	case router.IsSchemaError(err):
 		return http.StatusBadRequest
 	case router.IsBackpressure(err):
 		return http.StatusTooManyRequests
+	case router.IsReadOnly(err):
+		return http.StatusMisdirectedRequest
+	case router.IsLagExceeded(err):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
 
-// writeRouterError answers a failed mutation. Backpressure rejections carry
-// Retry-After: the rejection itself kicked the compactor, so a short pause
-// is genuinely expected to clear the condition.
-func writeRouterError(w http.ResponseWriter, err error) {
+// writeRouterError answers a failed router call. Backpressure rejections and
+// lag refusals carry Retry-After: a short pause is genuinely expected to
+// clear either condition (compaction kicked; the tailer is catching up).
+// Follower refusals — 421 mutations and 503 over-lag reads — carry the
+// leader's URL in the body so a client can redirect without configuration.
+func (s *Server) writeRouterError(w http.ResponseWriter, err error) {
 	status := statusOf(err)
-	if status == http.StatusTooManyRequests {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", "1")
 	}
-	writeError(w, status, err)
+	body := map[string]string{"error": err.Error()}
+	if s.leader != "" && (status == http.StatusMisdirectedRequest || status == http.StatusServiceUnavailable) {
+		body["leader"] = s.leader
+	}
+	writeJSON(w, status, body)
 }
 
 // proveCtx derives the context a prove or rewrite runs under: the request's
@@ -390,7 +410,7 @@ func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.rt.ApplyBatch(ops)
 	if err != nil {
-		writeRouterError(w, err)
+		s.writeRouterError(w, err)
 		return
 	}
 	out := batchMutateResponse{Shards: make(map[string]mutationJSON, len(res))}
@@ -539,11 +559,20 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	// One atomic conjunction: every expanded OD (a "<->" statement is two)
 	// is decided against the same constraint snapshot of its shard, and the
 	// reported generation is the one the verdict was computed under.
+	if n := maxLagOf(r); n > 0 {
+		key, kerr := s.rt.SchemaFor(req.Schema, ods)
+		if kerr == nil {
+			if lerr := s.rt.CheckReadLag(key, n); lerr != nil {
+				s.writeRouterError(w, lerr)
+				return
+			}
+		}
+	}
 	ctx, cancel := s.proveCtx(r)
 	defer cancel()
 	res, gen, shard, err := s.rt.ProveOne(ctx, req.Schema, ods)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeRouterError(w, err)
 		return
 	}
 	noteShard(r, shard)
@@ -592,11 +621,25 @@ func (s *Server) handleBatchProve(w http.ResponseWriter, r *http.Request) {
 		}
 		stmts[i] = ods
 	}
+	if n := maxLagOf(r); n > 0 {
+		checked := map[string]bool{}
+		for _, ods := range stmts {
+			key, kerr := s.rt.SchemaFor(req.Schema, ods)
+			if kerr != nil || checked[key] {
+				continue
+			}
+			checked[key] = true
+			if lerr := s.rt.CheckReadLag(key, n); lerr != nil {
+				s.writeRouterError(w, lerr)
+				return
+			}
+		}
+	}
 	ctx, cancel := s.proveCtx(r)
 	defer cancel()
 	verdicts, err := s.rt.ProveBatch(ctx, req.Schema, stmts)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		s.writeRouterError(w, err)
 		return
 	}
 	if err := ctx.Err(); err != nil {
@@ -675,6 +718,10 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	noteShard(r, shard)
+	if err := s.rt.CheckReadLag(shard, maxLagOf(r)); err != nil {
+		s.writeRouterError(w, err)
+		return
+	}
 	cat, err := s.rt.Catalog(shard)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -747,7 +794,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		res, err = s.rt.SnapshotAll()
 	}
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		s.writeRouterError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{Shards: res})

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"time"
+
 	"odlib/internal/catalog"
 	"odlib/internal/discover"
 	"odlib/internal/metrics"
@@ -273,6 +275,10 @@ func (t *Telemetry) ObserveRouter(rt *router.Router, pool *prover.Pool) {
 			}
 		})
 
+	if rt.IsFollower() {
+		t.observeReplica(rt)
+	}
+
 	if pool == nil {
 		return
 	}
@@ -300,5 +306,97 @@ func (t *Telemetry) ObserveRouter(rt *router.Router, pool *prover.Pool) {
 		"Worker requests the saturated pool declined (those searches ran with fewer goroutines).",
 		nil, func(emit func([]string, float64)) {
 			emit(nil, float64(pool.Stats().Starved))
+		})
+}
+
+// observeReplica installs the follower-side collectors: per-shard lag against
+// the last-polled leader position, replication byte/segment counters, and the
+// tail loop's poll health. All read from ReplicaStatuses()/Poll() per scrape —
+// the same state /healthz reports — so the lag a dashboard graphs is exactly
+// the lag the staleness bound enforces.
+func (t *Telemetry) observeReplica(rt *router.Router) {
+	reg := t.reg
+
+	reg.NewGaugeFunc("odserve_replica_lag_records",
+		"WAL records the follower trails its leader by (leader applied seq minus local), by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.LagRecords))
+			}
+		})
+	reg.NewGaugeFunc("odserve_replica_lag_generations",
+		"Constraint generations the follower trails its leader by, by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.LagGenerations))
+			}
+		})
+	reg.NewGaugeFunc("odserve_replica_applied_seq",
+		"Highest WAL seq the follower has applied, by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.AppliedSeq))
+			}
+		})
+	reg.NewGaugeFunc("odserve_replica_leader_seq",
+		"Leader applied seq at the last successful poll, by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.LeaderSeq))
+			}
+		})
+	reg.NewCounterFunc("odserve_replica_segments_fetched_total",
+		"Segment fetches ingested from the leader, by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.SegmentsFetched))
+			}
+		})
+	reg.NewCounterFunc("odserve_replica_bytes_fetched_total",
+		"Segment bytes ingested from the leader, by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.BytesFetched))
+			}
+		})
+	reg.NewCounterFunc("odserve_replica_segments_sealed_total",
+		"Segments the follower sealed after fully replicating them, by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.SegmentsSealed))
+			}
+		})
+	reg.NewCounterFunc("odserve_replica_bootstraps_total",
+		"Snapshot bootstraps (replay position compacted away on the leader), by shard.",
+		[]string{"shard"}, func(emit func([]string, float64)) {
+			for name, rs := range rt.ReplicaStatuses() {
+				emit([]string{shardLabel(name)}, float64(rs.Bootstraps))
+			}
+		})
+	reg.NewCounterFunc("odserve_replica_polls_total",
+		"Tail passes attempted against the leader.",
+		nil, func(emit func([]string, float64)) {
+			emit(nil, float64(rt.Poll().Polls))
+		})
+	reg.NewCounterFunc("odserve_replica_poll_errors_total",
+		"Tail passes that failed (transport or leader errors).",
+		nil, func(emit func([]string, float64)) {
+			emit(nil, float64(rt.Poll().PollErrors))
+		})
+	reg.NewGaugeFunc("odserve_replica_synced",
+		"1 once at least one tail pass has fully succeeded, else 0.",
+		nil, func(emit func([]string, float64)) {
+			if rt.Poll().Synced {
+				emit(nil, 1)
+			} else {
+				emit(nil, 0)
+			}
+		})
+	reg.NewGaugeFunc("odserve_replica_last_poll_age_seconds",
+		"Seconds since the last successful tail pass (absent before the first).",
+		nil, func(emit func([]string, float64)) {
+			if last := rt.Poll().LastPoll; !last.IsZero() {
+				emit(nil, time.Since(last).Seconds())
+			}
 		})
 }

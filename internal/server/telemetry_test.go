@@ -111,12 +111,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 		t.Fatalf("declare = %d", code)
 	}
 	for _, stmt := range []string{
-		"[x] -> [y]",      // closure
-		"[x, y] -> [x]",   // trivial
-		"[q] -> [p]",      // search (refuted)
-		"[q] -> [p]",      // negative
-		"[x, u] -> [y]",   // search
-		"[x, u] -> [y]",   // memo or negative, depending on the verdict
+		"[x] -> [y]",    // closure
+		"[x, y] -> [x]", // trivial
+		"[q] -> [p]",    // search (refuted)
+		"[q] -> [p]",    // negative
+		"[x, u] -> [y]", // search
+		"[x, u] -> [y]", // memo or negative, depending on the verdict
 	} {
 		if code := call(t, ts, "POST", "/prove", map[string]any{
 			"schema": "sales", "statement": stmt,

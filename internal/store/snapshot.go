@@ -17,9 +17,15 @@ const snapshotName = "snapshot.json"
 
 // Snapshot is a point-in-time copy of a shard's declared OD set: the state
 // after applying every WAL record up to and including Seq. Recovery loads it
-// and replays only records with a later sequence number.
+// and replays only records with a later sequence number. Gen pins the
+// catalog generation at the cut point, so a recovered (or replica-bootstrapped)
+// catalog resumes the same generation trajectory instead of restarting from
+// zero — the number verdict stamps and client caches key on. Snapshots from
+// pre-generation deployments decode with Gen zero, which seeds as "at least
+// what replay derives" and stays monotone.
 type Snapshot struct {
 	Seq uint64    `json:"seq"`
+	Gen uint64    `json:"gen,omitempty"`
 	ODs []core.OD `json:"ods"`
 }
 

@@ -102,11 +102,17 @@ type Stats struct {
 }
 
 // Source reports the durably-applied state a snapshot captures: the last
-// applied sequence number and the declared OD set at exactly that seq. The
-// router supplies one per shard; the compactor calls it at the start of
-// every compaction. It must be cheap — it runs under the shard's apply lock
-// on the router side — and must never call back into the store.
-type Source func() (seq uint64, ods []core.OD)
+// applied sequence number, the catalog generation at exactly that seq, and
+// the declared OD set at exactly that seq. The router supplies one per
+// shard; the compactor calls it at the start of every compaction. It must be
+// cheap — it runs under the shard's apply lock on the router side — and must
+// never call back into the store.
+//
+// The generation rides into the snapshot so that recovery (and replica
+// bootstrap) can reconstruct the exact generation trajectory: generation is
+// a deterministic function of the applied record history, and the snapshot
+// pins the value at its cut point.
+type Source func() (seq uint64, gen uint64, ods []core.OD)
 
 // CompactionResult reports one compaction: the snapshot cut point, how many
 // ODs it captured, and how many fully covered segments were deleted.
@@ -135,6 +141,7 @@ type Store struct {
 	mu            sync.Mutex
 	seq           uint64 // last assigned sequence number
 	snapshotSeq   uint64
+	snapshotGen   uint64 // catalog generation pinned in the last durable snapshot
 	sinceSnapshot int
 	snapshots     uint64
 	snapshotErr   error // last snapshot-write failure; cleared by a success
@@ -215,6 +222,7 @@ func Open(dir string, opt Options) (*Store, Snapshot, []Record, error) {
 		opt:           opt,
 		seq:           seq,
 		snapshotSeq:   snap.Seq,
+		snapshotGen:   snap.Gen,
 		sinceSnapshot: len(replay),
 		compactKick:   make(chan struct{}, 1),
 		recovery: Recovery{
@@ -347,7 +355,7 @@ func (s *Store) compactOnce() (CompactionResult, error) {
 			return CompactionResult{}, errors.New("store: compaction aborted by shutdown")
 		}
 	}
-	cutSeq, ods := src()
+	cutSeq, cutGen, ods := src()
 	res := CompactionResult{Seq: cutSeq, Declared: len(ods)}
 	// A durable snapshot at this exact cut already exists on a quiescent
 	// shard: skip the marshal+write+fsync, but still sweep segments below —
@@ -357,7 +365,7 @@ func (s *Store) compactOnce() (CompactionResult, error) {
 	skipWrite := cutSeq == s.snapshotSeq && s.snapshotErr == nil
 	s.mu.Unlock()
 	if !skipWrite {
-		if err := writeSnapshot(s.dir, Snapshot{Seq: cutSeq, ODs: ods}); err != nil {
+		if err := writeSnapshot(s.dir, Snapshot{Seq: cutSeq, Gen: cutGen, ODs: ods}); err != nil {
 			err = fmt.Errorf("store: writing snapshot: %w", err)
 			s.mu.Lock()
 			s.snapshotErr = err
@@ -367,6 +375,7 @@ func (s *Store) compactOnce() (CompactionResult, error) {
 		s.mu.Lock()
 		s.snapshotErr = nil
 		s.snapshotSeq = cutSeq
+		s.snapshotGen = cutGen
 		s.snapshots++
 		if s.seq > cutSeq {
 			s.sinceSnapshot = int(s.seq - cutSeq)

@@ -41,7 +41,7 @@ func appendWait(t *testing.T, s *Store, stmts ...string) uint64 {
 
 // fixedSource is a compactor source answering a predetermined cut point.
 func fixedSource(seq uint64, ods []core.OD) Source {
-	return func() (uint64, []core.OD) { return seq, ods }
+	return func() (uint64, uint64, []core.OD) { return seq, seq, ods }
 }
 
 func TestStoreRoundTrip(t *testing.T) {
@@ -688,10 +688,10 @@ func TestCompactionRemovesCoveredSegments(t *testing.T) {
 		seq uint64 = 7
 		ods        = mustODs(t, "[S0] -> [S7]")
 	)
-	s.StartCompactor(func() (uint64, []core.OD) {
+	s.StartCompactor(func() (uint64, uint64, []core.OD) {
 		mu.Lock()
 		defer mu.Unlock()
-		return seq, ods
+		return seq, seq, ods
 	})
 	res, err := s.CompactNow()
 	if err != nil {
@@ -748,10 +748,10 @@ func TestWritersNotBlockedDuringCompaction(t *testing.T) {
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	s.StartCompactor(func() (uint64, []core.OD) {
+	s.StartCompactor(func() (uint64, uint64, []core.OD) {
 		close(entered)
 		<-release
-		return 1, mustODs(t, "[A0] -> [A1]")
+		return 1, 1, mustODs(t, "[A0] -> [A1]")
 	})
 	compacted := make(chan error, 1)
 	go func() {

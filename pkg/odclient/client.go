@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -19,10 +20,13 @@ import (
 var ErrClosed = errors.New("odclient: client is closed")
 
 // APIError is a non-2xx answer from the daemon, carrying the HTTP status and
-// the server's {"error": ...} message.
+// the server's {"error": ...} message. Follower refusals (421 misdirected
+// mutations, 503 over-lag reads) also carry the leader's URL in Leader, so a
+// caller holding only a replica address can still find the write path.
 type APIError struct {
 	Status  int
 	Message string
+	Leader  string
 }
 
 func (e *APIError) Error() string {
@@ -140,6 +144,11 @@ type Stats struct {
 	// GenerationPolls counts GET /generation revalidations issued by the
 	// cache's staleness bound.
 	GenerationPolls uint64
+	// ReplicaReads counts reads routed to a configured replica;
+	// ReplicaFailovers of them could not be answered there (transport error,
+	// lag refusal) and fell over to the leader.
+	ReplicaReads     uint64
+	ReplicaFailovers uint64
 }
 
 type statsCounters struct {
@@ -147,6 +156,7 @@ type statsCounters struct {
 	httpRequests, retries               atomic.Uint64
 	pipelineBatches, pipelineStatements atomic.Uint64
 	generationPolls                     atomic.Uint64
+	replicaReads, replicaFailovers      atomic.Uint64
 }
 
 type options struct {
@@ -160,6 +170,8 @@ type options struct {
 	retryBackoff   time.Duration
 	requestTimeout time.Duration
 	metrics        MetricsRegistry
+	replicas       []string
+	maxLag         int
 }
 
 // Option configures a Client.
@@ -239,7 +251,8 @@ type Client struct {
 	flight *flightGroup  // nil when coalescing disabled
 	pipe   *pipeliner    // nil when pipelining disabled
 
-	closed atomic.Bool
+	replicaRR atomic.Uint64 // round-robin cursor over o.replicas
+	closed    atomic.Bool
 }
 
 // New builds a client for the daemon at baseURL (e.g. "http://localhost:8080").
@@ -301,6 +314,8 @@ func (c *Client) Stats() Stats {
 		PipelineBatches:    c.stats.pipelineBatches.Load(),
 		PipelineStatements: c.stats.pipelineStatements.Load(),
 		GenerationPolls:    c.stats.generationPolls.Load(),
+		ReplicaReads:       c.stats.replicaReads.Load(),
+		ReplicaFailovers:   c.stats.replicaFailovers.Load(),
 	}
 }
 
@@ -362,7 +377,7 @@ func (c *Client) proveFetch(ctx context.Context, schema, statement, key string) 
 		Verdict
 		Error string `json:"error,omitempty"`
 	}
-	err := c.do(ctx, http.MethodPost, "/prove",
+	err := c.doRead(ctx, http.MethodPost, "/prove",
 		map[string]string{"schema": schema, "statement": statement}, &resp)
 	if err != nil {
 		return Verdict{}, err
@@ -421,7 +436,7 @@ func (c *Client) proveBatchWire(ctx context.Context, schema string, statements [
 	var resp struct {
 		Results []wireVerdict `json:"results"`
 	}
-	err := c.do(ctx, http.MethodPost, "/prove/batch",
+	err := c.doRead(ctx, http.MethodPost, "/prove/batch",
 		map[string]any{"schema": schema, "statements": statements}, &resp)
 	if err != nil {
 		return nil, err
@@ -509,7 +524,7 @@ func (c *Client) Listing(ctx context.Context, schema string) (Listing, error) {
 		return Listing{}, ErrClosed
 	}
 	var out Listing
-	if err := c.do(ctx, http.MethodGet, "/ods?schema="+schema, nil, &out); err != nil {
+	if err := c.doRead(ctx, http.MethodGet, "/ods?schema="+schema, nil, &out); err != nil {
 		return Listing{}, err
 	}
 	c.observe(out.Schema, out.Generation)
@@ -532,7 +547,7 @@ func (c *Client) rewrite(ctx context.Context, req map[string]string) (RewriteRes
 		return RewriteResult{}, ErrClosed
 	}
 	var out RewriteResult
-	if err := c.do(ctx, http.MethodPost, "/rewrite", req, &out); err != nil {
+	if err := c.doRead(ctx, http.MethodPost, "/rewrite", req, &out); err != nil {
 		return RewriteResult{}, err
 	}
 	c.observe(out.Schema, out.Generation)
@@ -549,7 +564,7 @@ func (c *Client) Generations(ctx context.Context) (map[string]uint64, error) {
 	var resp struct {
 		Shards map[string]uint64 `json:"shards"`
 	}
-	if err := c.do(ctx, http.MethodGet, "/generation", nil, &resp); err != nil {
+	if err := c.doRead(ctx, http.MethodGet, "/generation", nil, &resp); err != nil {
 		return nil, err
 	}
 	for name, gen := range resp.Shards {
@@ -634,17 +649,23 @@ func (c *Client) cachePut(key string, v Verdict) {
 	}
 }
 
-// retryable reports whether an attempt's failure is worth a re-send:
-// transport errors, 502/503 answers, and 429 (the daemon shedding declares
-// under compaction backpressure — explicitly transient, the response says
-// Retry-After) are; anything else the server decided (4xx, 500, 504) and any
-// form of cancellation is not.
+// retryable reports whether an attempt's failure is worth a re-send against
+// the SAME host: transport errors, 502/503 answers, and 429 (the daemon
+// shedding declares under compaction backpressure — explicitly transient, the
+// response says Retry-After) are; anything else the server decided (4xx, 500,
+// 504) and any form of cancellation is not. 421 in particular is never
+// retryable here: a follower answering "misdirected, go to the leader" will
+// answer it identically forever — re-sending to the same host only burns the
+// retry budget (failover is doRead's job, not do's).
 func retryable(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
+		if ae.Status == http.StatusMisdirectedRequest {
+			return false
+		}
 		return ae.Status == http.StatusBadGateway ||
 			ae.Status == http.StatusServiceUnavailable ||
 			ae.Status == http.StatusTooManyRequests
@@ -652,20 +673,24 @@ func retryable(err error) bool {
 	return true
 }
 
-// do sends one JSON request, decodes the JSON answer into out, and retries
-// retryable failures per WithRetry. The context bounds all attempts and the
-// backoff sleeps between them.
+func marshalBody(in any) ([]byte, error) {
+	if in == nil {
+		return nil, nil
+	}
+	return json.Marshal(in)
+}
+
+// do sends one JSON request to the leader, decodes the JSON answer into out,
+// and retries retryable failures per WithRetry. The context bounds all
+// attempts and the backoff sleeps between them.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body []byte
-	if in != nil {
-		var err error
-		if body, err = json.Marshal(in); err != nil {
-			return err
-		}
+	body, err := marshalBody(in)
+	if err != nil {
+		return err
 	}
 	backoff := c.o.retryBackoff
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, body, out)
+		err := c.doOnce(ctx, c.base, method, path, body, out, false)
 		if err == nil || attempt >= c.o.retries || !retryable(err) || ctx.Err() != nil {
 			return err
 		}
@@ -680,17 +705,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+// doOnce sends one request to the host at base. Replica reads carry the
+// client's staleness bound so an over-stale follower refuses instead of
+// answering wrong-by-omission.
+func (c *Client) doOnce(ctx context.Context, base, method, path string, body []byte, out any, replica bool) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if replica && c.o.maxLag > 0 {
+		req.Header.Set("X-OD-Max-Lag-Records", strconv.Itoa(c.o.maxLag))
 	}
 	c.stats.httpRequests.Add(1)
 	obs(c.met.httpRequests, 1)
@@ -703,7 +734,8 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		msg := resp.Status
 		var we struct {
-			Error string `json:"error"`
+			Error  string `json:"error"`
+			Leader string `json:"leader"`
 		}
 		if json.Unmarshal(b, &we) == nil && we.Error != "" {
 			msg = we.Error
@@ -712,7 +744,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 			// alongside the APIError so unhealth remains inspectable data.
 			_ = json.Unmarshal(b, out)
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: resp.StatusCode, Message: msg, Leader: we.Leader}
 	}
 	if out == nil {
 		return nil

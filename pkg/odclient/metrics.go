@@ -30,14 +30,16 @@ var flushSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 // clientMetrics holds the observation functions; all fields are nil when no
 // registry is hooked, making every observation a nil check and nothing more.
 type clientMetrics struct {
-	proves          func(float64)
-	cacheHits       func(float64)
-	coalesceJoins   func(float64)
-	httpRequests    func(float64)
-	retries         func(float64)
-	generationPolls func(float64)
-	flushBatches    func(float64)
-	flushStatements func(float64) // histogram: statements per flushed batch
+	proves           func(float64)
+	cacheHits        func(float64)
+	coalesceJoins    func(float64)
+	httpRequests     func(float64)
+	retries          func(float64)
+	generationPolls  func(float64)
+	flushBatches     func(float64)
+	flushStatements  func(float64) // histogram: statements per flushed batch
+	replicaReads     func(float64)
+	replicaFailovers func(float64)
 }
 
 func newClientMetrics(reg MetricsRegistry) clientMetrics {
@@ -45,14 +47,16 @@ func newClientMetrics(reg MetricsRegistry) clientMetrics {
 		return clientMetrics{}
 	}
 	return clientMetrics{
-		proves:          reg.Counter("odclient_proves_total", "Prove calls made through this client."),
-		cacheHits:       reg.Counter("odclient_cache_hits_total", "Prove calls answered from the generation-keyed verdict cache."),
-		coalesceJoins:   reg.Counter("odclient_coalesce_joins_total", "Prove calls that joined another caller's in-flight request."),
-		httpRequests:    reg.Counter("odclient_http_requests_total", "HTTP requests actually sent (each retry attempt is one)."),
-		retries:         reg.Counter("odclient_retries_total", "Re-attempts after retryable failures."),
-		generationPolls: reg.Counter("odclient_generation_polls_total", "GET /generation revalidations issued by the cache's staleness bound."),
-		flushBatches:    reg.Counter("odclient_flush_batches_total", "Pipelined batch requests flushed."),
-		flushStatements: reg.Histogram("odclient_flush_statements", "Statements carried per pipelined flush request.", flushSizeBuckets),
+		proves:           reg.Counter("odclient_proves_total", "Prove calls made through this client."),
+		cacheHits:        reg.Counter("odclient_cache_hits_total", "Prove calls answered from the generation-keyed verdict cache."),
+		coalesceJoins:    reg.Counter("odclient_coalesce_joins_total", "Prove calls that joined another caller's in-flight request."),
+		httpRequests:     reg.Counter("odclient_http_requests_total", "HTTP requests actually sent (each retry attempt is one)."),
+		retries:          reg.Counter("odclient_retries_total", "Re-attempts after retryable failures."),
+		generationPolls:  reg.Counter("odclient_generation_polls_total", "GET /generation revalidations issued by the cache's staleness bound."),
+		flushBatches:     reg.Counter("odclient_flush_batches_total", "Pipelined batch requests flushed."),
+		flushStatements:  reg.Histogram("odclient_flush_statements", "Statements carried per pipelined flush request.", flushSizeBuckets),
+		replicaReads:     reg.Counter("odclient_replica_reads_total", "Reads routed to a configured replica."),
+		replicaFailovers: reg.Counter("odclient_replica_failovers_total", "Replica reads that fell over to the leader."),
 	}
 }
 

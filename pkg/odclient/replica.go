@@ -1,0 +1,93 @@
+package odclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// WithReplicas gives the client read replicas (follower odserve daemons) to
+// fan read traffic to: proves, batch proves, listings, rewrites and
+// generation polls round-robin across the replicas; mutations, snapshots and
+// health checks always go to the leader. A replica that fails — transport
+// error, 421, or a 503 lag refusal — costs one failover to the leader's
+// normal retry path, never a retry against the same stale host, so reads
+// degrade to leader latency rather than erroring.
+func WithReplicas(urls ...string) Option {
+	return func(o *options) {
+		o.replicas = o.replicas[:0]
+		for _, u := range urls {
+			if u = strings.TrimRight(u, "/"); u != "" {
+				o.replicas = append(o.replicas, u)
+			}
+		}
+	}
+}
+
+// WithMaxLagRecords sets the client's own staleness bound, sent as the
+// X-OD-Max-Lag-Records header on every replica read: a follower trailing its
+// leader by more than n WAL records refuses with 503 (which this client turns
+// into a leader failover) instead of answering from the stale set. Zero (the
+// default) accepts whatever bound the follower itself is configured with.
+func WithMaxLagRecords(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.maxLag = n
+		}
+	}
+}
+
+// IsMisdirected reports whether err is the server's 421 — the request hit a
+// read-only follower that cannot serve it. The rejection names the leader:
+// errors.As to *APIError and read its Leader field.
+func IsMisdirected(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusMisdirectedRequest
+}
+
+// failover reports whether a replica read's failure should fall over to the
+// leader: transport errors and anything the follower itself refused (421
+// mutations-go-elsewhere, 503 over-lag, 5xx, 429) do; a definitive client
+// error (bad statement, unknown schema) is the request's own fault and would
+// fail identically on the leader, and a dead context has nobody waiting.
+func failover(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusMisdirectedRequest ||
+			ae.Status == http.StatusTooManyRequests ||
+			ae.Status >= 500
+	}
+	return true
+}
+
+// doRead routes one read request: with no replicas configured it is exactly
+// do(). Otherwise one replica (round-robin) gets one attempt; if that replica
+// cannot answer, the read falls over to the leader's full retry path. One
+// attempt per read keeps tail latency bounded — the leader is the fallback,
+// not a second replica that may be just as stale.
+func (c *Client) doRead(ctx context.Context, method, path string, in, out any) error {
+	if len(c.o.replicas) == 0 {
+		return c.do(ctx, method, path, in, out)
+	}
+	body, err := marshalBody(in)
+	if err != nil {
+		return err
+	}
+	idx := int(c.replicaRR.Add(1)-1) % len(c.o.replicas)
+	c.stats.replicaReads.Add(1)
+	obs(c.met.replicaReads, 1)
+	rerr := c.doOnce(ctx, c.o.replicas[idx], method, path, body, out, true)
+	if rerr == nil {
+		return nil
+	}
+	if !failover(rerr) || ctx.Err() != nil {
+		return rerr
+	}
+	c.stats.replicaFailovers.Add(1)
+	obs(c.met.replicaFailovers, 1)
+	return c.do(ctx, method, path, in, out)
+}

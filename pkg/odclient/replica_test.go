@@ -1,0 +1,196 @@
+package odclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odlib/internal/router"
+	"odlib/internal/server"
+)
+
+// newFollowerDaemon ships the leader router's full log into a fresh
+// follower-mode router and serves it, counting requests.
+func newFollowerDaemon(t *testing.T, leader *router.Router, leaderURL string) (*httptest.Server, *countingHandler) {
+	t.Helper()
+	follower, err := router.Open(router.Options{Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ss := range leader.SegmentState() {
+		if err := follower.NoteLeader(name, ss.AppliedSeq, ss.Generation); err != nil {
+			t.Fatal(err)
+		}
+		for _, info := range ss.Segments {
+			b, fresh, err := leader.ReadSegment(name, info.Index, 0, 1<<30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := follower.FollowerIngest(name, info.Index, 0, b); err != nil {
+				t.Fatal(err)
+			}
+			if fresh.Sealed {
+				if err := follower.FollowerSeal(name, info.Index, fresh.Size); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	follower.NotePoll(nil)
+	ch := &countingHandler{h: server.New(follower, server.WithLeader(leaderURL))}
+	ts := httptest.NewServer(ch)
+	t.Cleanup(func() {
+		ts.Close()
+		follower.Close()
+	})
+	return ts, ch
+}
+
+func TestReplicaReadsRoundRobinAndMutationsGoToLeader(t *testing.T) {
+	leaderRT, err := router.Open(router.Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderCount := &countingHandler{h: server.New(leaderRT)}
+	lts := httptest.NewServer(leaderCount)
+	t.Cleanup(func() {
+		lts.Close()
+		leaderRT.Close()
+	})
+
+	boot := newTestClient(t, lts)
+	declareChain(t, boot, "sales")
+
+	f1, c1 := newFollowerDaemon(t, leaderRT, lts.URL)
+	f2, c2 := newFollowerDaemon(t, leaderRT, lts.URL)
+
+	c := newTestClient(t, lts, WithReplicas(f1.URL, f2.URL))
+	leaderBefore := leaderCount.n.Load()
+
+	// Four distinct proves: reads fan to the replicas, round-robin, and the
+	// leader sees none of them.
+	for _, stmt := range []string{"[a] -> [c]", "[a] -> [d]", "[b] -> [d]", "[c] -> [a]"} {
+		if _, err := c.Prove(context.Background(), "sales", stmt); err != nil {
+			t.Fatalf("prove %q: %v", stmt, err)
+		}
+	}
+	if n := leaderCount.n.Load(); n != leaderBefore {
+		t.Fatalf("leader served %d read requests, want 0", n-leaderBefore)
+	}
+	if n1, n2 := c1.n.Load(), c2.n.Load(); n1 != 2 || n2 != 2 {
+		t.Fatalf("replica requests split %d/%d, want 2/2 round-robin", n1, n2)
+	}
+	if s := c.Stats(); s.ReplicaReads != 4 || s.ReplicaFailovers != 0 {
+		t.Fatalf("stats = %+v, want 4 replica reads, 0 failovers", s)
+	}
+
+	// Listings fan out too; mutations go straight to the leader.
+	if _, err := c.Listing(context.Background(), "sales"); err != nil {
+		t.Fatal(err)
+	}
+	if n1, n2 := c1.n.Load(), c2.n.Load(); n1+n2 != 5 {
+		t.Fatalf("listing did not hit a replica: %d/%d", n1, n2)
+	}
+	if err := c.Declare(context.Background(), "sales", "[d] -> [e]"); err != nil {
+		t.Fatal(err)
+	}
+	if n := leaderCount.n.Load(); n != leaderBefore+1 {
+		t.Fatalf("mutation did not go to the leader (leader saw %d new requests)", n-leaderBefore)
+	}
+	if n1, n2 := c1.n.Load(), c2.n.Load(); n1+n2 != 5 {
+		t.Fatalf("mutation leaked to a replica: %d/%d", n1, n2)
+	}
+}
+
+func TestReplicaFailoverOnDeadReplica(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{DataDir: t.TempDir()})
+	boot := newTestClient(t, ts)
+	declareChain(t, boot, "sales")
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from now on
+
+	c := newTestClient(t, ts, WithReplicas(dead.URL))
+	v, err := c.Prove(context.Background(), "sales", "[a] -> [d]")
+	if err != nil {
+		t.Fatalf("prove with dead replica: %v", err)
+	}
+	if !v.Implied {
+		t.Fatal("leader failover lost the verdict")
+	}
+	if s := c.Stats(); s.ReplicaReads != 1 || s.ReplicaFailovers != 1 {
+		t.Fatalf("stats = %+v, want 1 replica read, 1 failover", s)
+	}
+}
+
+func TestReplicaLagBoundHeaderAndLagFailover(t *testing.T) {
+	ts, _ := newDaemon(t, router.Options{DataDir: t.TempDir()})
+	boot := newTestClient(t, ts)
+	declareChain(t, boot, "sales")
+
+	// A "replica" that refuses with the follower's 503 lag answer, recording
+	// the client's staleness bound header.
+	var gotLag atomic.Value
+	laggy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotLag.Store(r.Header.Get("X-OD-Max-Lag-Records"))
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error": "replication: lag 9 exceeds bound", "leader": "` + ts.URL + `"}`))
+	}))
+	defer laggy.Close()
+
+	c := newTestClient(t, ts, WithReplicas(laggy.URL), WithMaxLagRecords(3))
+	v, err := c.Prove(context.Background(), "sales", "[a] -> [d]")
+	if err != nil || !v.Implied {
+		t.Fatalf("prove via lagging replica = %+v, %v", v, err)
+	}
+	if got := gotLag.Load(); got != "3" {
+		t.Fatalf("replica saw lag bound %v, want \"3\"", got)
+	}
+	if s := c.Stats(); s.ReplicaFailovers != 1 {
+		t.Fatalf("stats = %+v, want 1 failover", s)
+	}
+}
+
+func TestMisdirectedIsNotRetriedAgainstSameHost(t *testing.T) {
+	// A follower that answers every request 421. The client must not burn
+	// its retry budget here: one request, one definitive error.
+	var hits atomic.Int64
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		w.Write([]byte(`{"error": "follower is read-only", "leader": "http://leader.example:9"}`))
+	}))
+	defer follower.Close()
+
+	c, err := New(follower.URL, WithHTTPClient(follower.Client()),
+		WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	derr := c.Declare(context.Background(), "sales", "[a] -> [b]")
+	if derr == nil {
+		t.Fatal("declare against a follower succeeded")
+	}
+	if !IsMisdirected(derr) {
+		t.Fatalf("err = %v, want IsMisdirected", derr)
+	}
+	var ae *APIError
+	if !errors.As(derr, &ae) || ae.Leader != "http://leader.example:9" {
+		t.Fatalf("err = %v, want APIError carrying the leader URL", derr)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("follower saw %d requests, want exactly 1 (421 is never retried in place)", n)
+	}
+	if s := c.Stats(); s.Retries != 0 {
+		t.Fatalf("client burned %d retries on a 421", s.Retries)
+	}
+}
