@@ -1196,7 +1196,10 @@ func runSaturation(seed int64) (*benchResult, error) {
 		}
 		schema := fmt.Sprintf("stage%d", si)
 		if code, err := post("/ods", map[string]any{"schema": schema, "statements": decl}); err != nil || code != 200 {
-			return nil, fmt.Errorf("populate stage %d (conc %d): status %d, %v", si, conc, code, err)
+			if err == nil {
+				err = fmt.Errorf("status %d", code)
+			}
+			return nil, fmt.Errorf("populate stage %d (conc %d): %w", si, conc, err)
 		}
 		rng.Shuffle(len(questions[si]), func(i, j int) {
 			questions[si][i], questions[si][j] = questions[si][j], questions[si][i]
@@ -1294,7 +1297,10 @@ func runSaturation(seed int64) (*benchResult, error) {
 	// one segment, so admission control must trip within backpressureAt+1
 	// accepts and shed the rest of the flood.
 	if code, err := post("/ods", map[string]any{"schema": "hot", "statements": []string{"[h0] -> [k0]"}}); err != nil || code != 200 {
-		return nil, fmt.Errorf("hot shard declare: status %d, %v", code, err)
+		if err == nil {
+			err = fmt.Errorf("status %d", code)
+		}
+		return nil, fmt.Errorf("hot shard declare: %w", err)
 	}
 	resume := rt.ShardStore("hot").StallCompaction()
 	accepted, rejected := 0, 0
@@ -1351,7 +1357,10 @@ func runSaturation(seed int64) (*benchResult, error) {
 	// Recovery: un-pin, compact, and the shard must admit writes again.
 	resume()
 	if code, err := post("/snapshot", map[string]any{"schema": "hot"}); err != nil || code != 200 {
-		return nil, fmt.Errorf("snapshot after resume: status %d, %v", code, err)
+		if err == nil {
+			err = fmt.Errorf("status %d", code)
+		}
+		return nil, fmt.Errorf("snapshot after resume: %w", err)
 	}
 	recovered := 0
 	if code, err := post("/ods", map[string]any{"schema": "hot", "statements": []string{"[recov] -> [ered]"}}); err != nil {

@@ -1,0 +1,53 @@
+// Command odlint runs odlib's project-specific static analyzers (see
+// internal/lint) over the module and prints one file:line:col diagnostic
+// per violation. It exits 1 when any diagnostic survives the
+// //odlint:ignore suppression directives, 0 on a clean tree — CI runs
+// `go run ./cmd/odlint ./...` as a hard gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"odlib/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odlint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs odlib's analyzers over the given package patterns (default ./...).\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Suppress a finding with: //odlint:ignore <analyzer> -- <reason>\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "odlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

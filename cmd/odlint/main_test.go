@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"odlib/internal/lint"
+)
+
+// TestRepoIsLintClean runs the full analyzer set over the module, the same
+// way CI's odlint gate does: any unsuppressed diagnostic in the tree fails
+// the ordinary test run too.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; skipped with -short")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; go list enumeration looks broken", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.DefaultAnalyzers()) {
+		t.Errorf("%s", d)
+	}
+}

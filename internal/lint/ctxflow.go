@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlowConfig lists the functions allowed to mint fresh contexts.
+type CtxFlowConfig struct {
+	// Bless holds function keys (pkgpath.Func or pkgpath.Type.Method) that
+	// may call context.Background/context.TODO: lifecycle roots that own a
+	// goroutine or a compatibility wrapper whose signature predates ctx
+	// threading. main packages and test files are always exempt.
+	Bless map[string]bool
+}
+
+// CtxFlow builds the ctxflow analyzer: cancellation must flow down the call
+// tree, so context.Background() and context.TODO() may only appear in main
+// packages, tests, and the blessed lifecycle roots. Everywhere else the
+// caller's ctx parameter is the context to use; minting a fresh one severs
+// the cancellation chain the HTTP and search paths rely on.
+func CtxFlow(cfg CtxFlowConfig) *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "context.Background/TODO only in main, tests, and blessed roots; pass ctx through otherwise",
+		Run: func(pass *Pass) {
+			if pass.Name == "main" {
+				return
+			}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if cfg.Bless[funcDeclKey(pass.Package, fd)] {
+						continue
+					}
+					hasCtx := funcHasCtxParam(pass.Package, fd)
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						name, ok := stdFunc(pass.Package, call, "context", "Background", "TODO")
+						if !ok {
+							return true
+						}
+						if hasCtx {
+							pass.Reportf(call.Pos(), "context.%s() severs the cancellation chain: pass this function's ctx parameter through instead", name)
+						} else {
+							pass.Reportf(call.Pos(), "context.%s() outside main/tests/blessed roots: accept a ctx parameter and thread it from the caller", name)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// funcHasCtxParam reports whether fd takes a context.Context parameter.
+func funcHasCtxParam(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+// Package lint is odlib's project-specific static analyzer framework,
+// driven by cmd/odlint and gated in CI.
+//
+// It is deliberately dependency-free: packages are enumerated with
+// `go list -json` (the go tool the build already requires), parsed with
+// go/parser and type-checked with go/types using the stdlib source
+// importer. Only non-test files are analyzed — the invariants guarded here
+// are production-path invariants.
+//
+// Five analyzers encode contracts that earlier PRs established in prose:
+//
+//   - lockorder: mutex acquisitions in internal/store and internal/router
+//     follow the documented global rank order (see DefaultLockOrder).
+//   - ctxflow: context.Background/TODO only in main packages, tests, and
+//     blessed lifecycle roots; everywhere else the ctx parameter threads
+//     through.
+//   - walltime: no wall-clock reads in the scheduler-independent stat
+//     packages (discover, prover) whose numbers CI compares to goldens.
+//   - metricname: metric names are literals with an odserve_/odclient_
+//     prefix, snake_case, registered exactly once, with label keys drawn
+//     from a closed set.
+//   - errcmp: sentinel errors are matched with errors.Is and wrapped with
+//     %w, never compared with ==/!= or flattened through %v.
+//
+// A diagnostic is suppressed — with a mandatory recorded reason — by a
+// directive on the flagged line or the line above it:
+//
+//	//odlint:ignore <analyzer>[,<analyzer>] -- <reason>
+//
+// Malformed directives (no reason, unknown analyzer) and directives that
+// suppress nothing are themselves diagnostics, reported under the driver's
+// own "odlint" name, which cannot be suppressed.
+package lint

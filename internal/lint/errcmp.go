@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrCmp builds the errcmp analyzer: sentinel errors must be matched with
+// errors.Is, never == or !=, and wrapped with %w, never %v — a sentinel
+// compared by identity stops matching the moment any layer wraps it, and a
+// %v wrap strips the sentinel out of the chain so downstream errors.Is
+// silently returns false.
+func ErrCmp() *Analyzer {
+	return &Analyzer{
+		Name: "errcmp",
+		Doc:  "sentinel errors via errors.Is, wrapping via %w",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.BinaryExpr:
+						checkErrCompare(pass, x)
+					case *ast.SwitchStmt:
+						checkErrSwitch(pass, x)
+					case *ast.CallExpr:
+						checkErrorfWrap(pass, x)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkErrCompare flags err == Sentinel / err != Sentinel when either
+// operand resolves to a package-level error variable.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, be.X) || isNil(pass, be.Y) {
+		return // err != nil is the one identity check that stays correct
+	}
+	name := sentinelName(pass, be.X)
+	if name == "" {
+		name = sentinelName(pass, be.Y)
+	}
+	if name == "" {
+		return
+	}
+	verb := "errors.Is(err, %s)"
+	if be.Op == token.NEQ {
+		verb = "!errors.Is(err, %s)"
+	}
+	pass.Reportf(be.OpPos, "sentinel error %s compared with %s; use "+verb+" so wrapped errors still match", name, be.Op, name)
+}
+
+// checkErrSwitch flags switch err { case Sentinel: } — identity comparison
+// in switch clothing.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok || !isErrorType(tv.Type) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := sentinelName(pass, e); name != "" {
+				pass.Reportf(e.Pos(), "switch on an error value compares sentinel %s by identity; use if/else with errors.Is", name)
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument with
+// a verb other than %w. Indexed formats (%[1]v) are rare enough to skip.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if _, ok := stdFunc(pass.Package, call, "fmt", "Errorf"); !ok {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%[") {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb == 'w' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		tv, ok := pass.Info.Types[arg]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error formatted with %%%c strips it from the unwrap chain; use %%w so errors.Is keeps working", verb)
+	}
+}
+
+// formatVerbs extracts the argument-consuming verb letters of a format
+// string, in order. %% consumes nothing; flags, width and precision are
+// skipped; a '*' width/precision consumes an argument of its own.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // %% — literal percent
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789.", c) >= 0 {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+// sentinelName resolves an expression to a package-level error variable
+// (a sentinel like store.ErrBadFrame or io.EOF) and renders it for the
+// report; "" when it is not one.
+func sentinelName(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || !isPackageLevel(v) || !isErrorType(v.Type()) {
+		return ""
+	}
+	if v.Pkg() != nil && v.Pkg().Path() != pass.Path {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func isNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is the error interface or implements it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}

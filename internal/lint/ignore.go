@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The suppression directive:
+//
+//	//odlint:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// suppresses diagnostics from the named analyzers on the directive's own
+// line and on the line immediately below it (so it works both as a trailing
+// comment and as a standalone comment above the flagged statement). The
+// reason is mandatory — a suppression without a recorded justification is
+// itself a diagnostic — as is naming an analyzer the driver knows about, and
+// actually suppressing something: a directive that matches nothing is dead
+// weight that would silently rot when the code under it changes.
+
+const directivePrefix = "//odlint:ignore"
+
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	used      bool
+}
+
+// parseDirectives scans a package's comments for //odlint:ignore directives.
+// Well-formed ones are returned for suppression matching; malformed ones
+// (missing reason, unknown analyzer name) are reported immediately under the
+// driver's own name.
+func parseDirectives(pkg *Package, known map[string]bool) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var bad []Diagnostic
+	report := func(pos token.Position, msg string) {
+		bad = append(bad, Diagnostic{Pos: pos, Analyzer: DriverName, Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //odlint:ignored — not this directive
+				}
+				names, reason, ok := strings.Cut(rest, "--")
+				if !ok || strings.TrimSpace(reason) == "" {
+					report(pos, "odlint:ignore directive needs a reason: //odlint:ignore <analyzer> -- <reason>")
+					continue
+				}
+				var list []string
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !known[n] {
+						report(pos, "odlint:ignore names unknown analyzer "+strconv.Quote(n))
+						continue
+					}
+					if n == DriverName {
+						report(pos, "odlint:ignore cannot suppress the driver's own directive diagnostics")
+						continue
+					}
+					list = append(list, n)
+				}
+				if len(list) == 0 {
+					if len(bad) == 0 || bad[len(bad)-1].Pos != pos {
+						report(pos, "odlint:ignore names no analyzer: //odlint:ignore <analyzer> -- <reason>")
+					}
+					continue
+				}
+				dirs = append(dirs, &directive{pos: pos, analyzers: list})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyDirectives filters diagnostics through the directives and appends an
+// unused-directive diagnostic for every directive that suppressed nothing.
+func applyDirectives(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line != dir.pos.Line && d.Pos.Line != dir.pos.Line+1 {
+				continue
+			}
+			if !contains(dir.analyzers, d.Analyzer) {
+				continue
+			}
+			dir.used = true
+			suppressed = true
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: DriverName,
+				Message:  "unused odlint:ignore directive (nothing on this or the next line to suppress)",
+			})
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// markerLine finds the 1-based line of a unique MARK-* comment in the
+// directives fixture, so the assertions survive edits to the file.
+func markerLine(t *testing.T, src, marker string) int {
+	t.Helper()
+	line := 0
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, marker) {
+			if line != 0 {
+				t.Fatalf("marker %s appears more than once", marker)
+			}
+			line = i + 1
+		}
+	}
+	if line == 0 {
+		t.Fatalf("marker %s not found", marker)
+	}
+	return line
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	fixture := filepath.Join("testdata", "ignore", "directives")
+	raw, err := os.ReadFile(filepath.Join(fixture, "d.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(raw)
+
+	pkg, err := LoadDir(fixture, "fix/ignore/directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{ErrCmp()})
+
+	type expect struct {
+		marker   string
+		analyzer string
+		substr   string
+	}
+	expected := []expect{
+		// A directive without a reason is rejected...
+		{"MARK-NO-REASON", DriverName, "needs a reason"},
+		// ...so the violation under it is NOT suppressed.
+		{"MARK-UNSUPPRESSED", "errcmp", "ErrLocal"},
+		// Unknown analyzer names are rejected.
+		{"MARK-UNKNOWN", DriverName, "unknown analyzer"},
+		// The driver's own findings cannot be suppressed.
+		{"MARK-SELF", DriverName, "cannot suppress"},
+		// A directive that suppresses nothing is a finding.
+		{"MARK-UNUSED", DriverName, "unused odlint:ignore"},
+	}
+
+	for _, e := range expected {
+		line := markerLine(t, src, e.marker)
+		found := false
+		for _, d := range diags {
+			if d.Pos.Line == line && d.Analyzer == e.analyzer && strings.Contains(d.Message, e.substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s (line %d): wanted %s diagnostic containing %q; diagnostics were:\n%s",
+				e.marker, line, e.analyzer, e.substr, renderDiags(diags))
+		}
+	}
+
+	// The well-formed directives must actually suppress: no errcmp finding
+	// on the standalone-directive's next line or the trailing-directive line.
+	for _, marker := range []string{"MARK-ABOVE", "MARK-TRAILING"} {
+		line := markerLine(t, src, marker)
+		for _, d := range diags {
+			if d.Analyzer == "errcmp" && (d.Pos.Line == line || d.Pos.Line == line+1) {
+				t.Errorf("%s: diagnostic %s should have been suppressed", marker, d)
+			}
+		}
+	}
+
+	if len(diags) != len(expected) {
+		t.Errorf("expected %d diagnostics, got %d:\n%s", len(expected), len(diags), renderDiags(diags))
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Package is one loaded, type-checked package: the unit every analyzer
+// runs over. Files holds only non-test sources — test files may compare
+// errors with == or read the wall clock freely; the invariants the
+// analyzers guard are production-path invariants.
+type Package struct {
+	Fset  *token.FileSet
+	Path  string // import path, e.g. odlib/internal/store
+	Name  string // package name, e.g. store or main
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it, and
+// a human-readable message. The driver renders it as file:line:col.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass hands one package to one analyzer and collects its reports.
+type Pass struct {
+	*Package
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Analyzers are constructed per run — a Run
+// closure may carry cross-package state (metricname's duplicate-registration
+// map does) — so do not share instances between concurrent drivers.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// DriverName is the pseudo-analyzer name under which the driver itself
+// reports: malformed or unused //odlint:ignore directives. It is a valid
+// target of the directive grammar but its own findings cannot be suppressed.
+const DriverName = "odlint"
+
+// Run executes every analyzer over every package, applies the
+// //odlint:ignore suppression directives found in the sources, and returns
+// the surviving diagnostics sorted by position. Directive misuse (missing
+// reason, unknown analyzer name, a directive that suppressed nothing) is
+// itself reported under the "odlint" pseudo-analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{DriverName: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, analyzer: a.Name, diags: &raw}
+			a.Run(pass)
+		}
+	}
+
+	var out []Diagnostic
+	var dirs []*directive
+	for _, pkg := range pkgs {
+		ds, bad := parseDirectives(pkg, known)
+		dirs = append(dirs, ds...)
+		out = append(out, bad...)
+	}
+	out = append(out, applyDirectives(raw, dirs)...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricNameConfig describes the project's metric discipline.
+type MetricNameConfig struct {
+	// Receivers holds qualified type names (pkgpath.Type) whose registration
+	// methods the analyzer watches — the concrete Registry and the client's
+	// MetricsRegistry interface.
+	Receivers map[string]bool
+	// Prefixes lists the allowed metric-name prefixes (odserve_, odclient_).
+	Prefixes []string
+	// LabelKeys is the closed set of label keys metrics may use; an
+	// unbounded or ad-hoc label key is a cardinality bug waiting to happen.
+	LabelKeys map[string]bool
+}
+
+// registrationMethods are the methods on watched receivers whose first
+// argument is a metric name.
+var registrationMethods = map[string]bool{
+	"NewCounter": true, "NewGauge": true, "NewHistogram": true,
+	"NewCounterVec": true, "NewGaugeVec": true, "NewHistogramVec": true,
+	"NewGaugeFunc": true, "NewCounterFunc": true,
+	"Counter": true, "Histogram": true,
+}
+
+var snakeName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// MetricName builds the metricname analyzer: every metric registration on a
+// watched receiver must pass a literal name carrying a project prefix in
+// snake_case, use only label keys from the closed set, and each name may be
+// registered exactly once across the whole tree (the Run closure carries the
+// cross-package seen-set, so one MetricName instance must not be shared
+// between concurrent drivers).
+// metricSite remembers where a metric name was first registered.
+type metricSite struct {
+	pos token.Position
+}
+
+func MetricName(cfg MetricNameConfig) *Analyzer {
+	seen := map[string]metricSite{}
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "metric names literal, prefixed, snake_case, registered once, label keys bounded",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !registrationMethods[sel.Sel.Name] {
+						return true
+					}
+					m, ok := pass.Info.Selections[sel]
+					if !ok || m.Kind() != types.MethodVal || !cfg.Receivers[qualifiedTypeName(m.Recv())] {
+						return true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					checkMetricName(pass, cfg, seen, call, sel.Sel.Name)
+					return true
+				})
+			}
+		},
+	}
+}
+
+func checkMetricName(pass *Pass, cfg MetricNameConfig, seen map[string]metricSite, call *ast.CallExpr, method string) {
+	nameArg := call.Args[0]
+	lit, ok := nameArg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(nameArg.Pos(), "%s: metric name must be a string literal so the full metric set is greppable", method)
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+
+	prefixed := false
+	for _, p := range cfg.Prefixes {
+		if strings.HasPrefix(name, p) {
+			prefixed = true
+			break
+		}
+	}
+	if !prefixed {
+		pass.Reportf(nameArg.Pos(), "metric %q lacks a project prefix (%s)", name, strings.Join(cfg.Prefixes, ", "))
+	} else if !snakeName.MatchString(name) {
+		pass.Reportf(nameArg.Pos(), "metric %q is not snake_case ([a-z0-9_], starting with a letter)", name)
+	}
+
+	if prev, dup := seen[name]; dup {
+		pass.Reportf(nameArg.Pos(), "metric %q already registered at %s:%d; each name is registered exactly once", name, prev.pos.Filename, prev.pos.Line)
+	} else {
+		seen[name] = metricSite{pos: pass.Fset.Position(nameArg.Pos())}
+	}
+
+	checkLabelArgs(pass, cfg, call)
+}
+
+// checkLabelArgs validates every []string argument of a registration call —
+// by the registry's signatures that is always the label-key list.
+func checkLabelArgs(pass *Pass, cfg MetricNameConfig, call *ast.CallExpr) {
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if b, ok := sl.Elem().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+			continue
+		}
+		comp, ok := arg.(*ast.CompositeLit)
+		if !ok {
+			if id, isIdent := arg.(*ast.Ident); isIdent && id.Name == "nil" {
+				continue
+			}
+			pass.Reportf(arg.Pos(), "label keys must be a literal []string so the label set stays auditable")
+			continue
+		}
+		for _, el := range comp.Elts {
+			lit, ok := el.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(el.Pos(), "label key must be a string literal")
+				continue
+			}
+			key, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if !cfg.LabelKeys[key] {
+				pass.Reportf(el.Pos(), "label key %q is outside the bounded label-key set", key)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Qualified-name resolution shared by the analyzers. Keys are plain strings
+// so configurations stay declarative:
+//
+//	lock (struct field):   <pkgpath>.<TypeName>.<fieldName>
+//	package-level var:     <pkgpath>.<varName>
+//	function:              <pkgpath>.<FuncName>
+//	method:                <pkgpath>.<TypeName>.<MethodName>  (pointer stripped)
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf unwraps aliases and returns the named type under t, if any.
+func namedOf(t types.Type) *types.Named {
+	n, _ := types.Unalias(deref(t)).(*types.Named)
+	return n
+}
+
+// qualifiedTypeName renders a named type as pkgpath.Name, "" otherwise.
+func qualifiedTypeName(t types.Type) string {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// fieldKey resolves an expression denoting a struct field or package-level
+// variable to its qualified key, "" when it is neither.
+func fieldKey(pkg *Package, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if owner := qualifiedTypeName(sel.Recv()); owner != "" {
+				return owner + "." + x.Sel.Name
+			}
+			return ""
+		}
+		// Qualified package-level var: pkg.Var.
+		if obj, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil && isPackageLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[x].(*types.Var); ok && obj.Pkg() != nil && isPackageLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// calleeKey resolves the callee of a call expression to a function or
+// method key, "" for dynamic calls (function values, interface methods on
+// unnamed receivers, built-ins).
+func calleeKey(pkg *Package, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok && f.Pkg() != nil {
+			return f.Pkg().Path() + "." + f.Name()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if owner := qualifiedTypeName(sel.Recv()); owner != "" {
+				return owner + "." + fun.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified function: store.Open(...).
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok && f.Pkg() != nil {
+			return f.Pkg().Path() + "." + f.Name()
+		}
+	}
+	return ""
+}
+
+// funcDeclKey renders a function declaration's key: pkg.Func for plain
+// functions, pkg.Type.Method for methods (pointer receivers stripped).
+func funcDeclKey(pkg *Package, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkg.Path + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (T[P]) index the base name.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return pkg.Path + "." + id.Name + "." + fd.Name.Name
+	}
+	return pkg.Path + "." + fd.Name.Name
+}
+
+// stdFunc reports whether the call's callee is the named function from the
+// named standard-library package (e.g. "context", "Background").
+func stdFunc(pkg *Package, call *ast.CallExpr, stdPkg string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != stdPkg {
+		return "", false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,9 @@
+// The process entry point may always mint the root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,19 @@
+// Package negative threads contexts properly; Root is blessed by the
+// fixture config as a lifecycle root.
+package negative
+
+import "context"
+
+// Root owns a goroutine's lifecycle and is blessed in the fixture config.
+func Root() {
+	ctx := context.Background()
+	_ = work(ctx)
+}
+
+func work(ctx context.Context) error {
+	return inner(ctx)
+}
+
+func inner(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,21 @@
+// Package positive holds ctxflow violations: fresh contexts minted outside
+// main, tests, and the fixture's blessed root.
+package positive
+
+import "context"
+
+// No ctx parameter: the caller should be threading one in.
+func Plain() {
+	ctx := context.Background() // want ctxflow "accept a ctx parameter"
+	_ = ctx
+}
+
+// Has a ctx parameter and ignores it.
+func Shadowed(ctx context.Context) error {
+	return work(context.TODO()) // want ctxflow "pass this function's ctx parameter"
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,33 @@
+// Package negative handles sentinels correctly: errors.Is for matching,
+// %w for wrapping, and identity comparison only against nil.
+package negative
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrLocal = errors.New("local sentinel")
+
+func compare(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	return errors.Is(err, ErrLocal)
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("reading frame: %w", err)
+	}
+	return nil
+}
+
+// Identity comparison of non-error values is out of scope.
+func tags(a, b string) bool {
+	return a == b
+}

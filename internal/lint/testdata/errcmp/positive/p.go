@@ -1,0 +1,37 @@
+// Package positive matches and wraps sentinel errors the broken way.
+package positive
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrLocal = errors.New("local sentinel")
+
+func compare(err error) bool {
+	if err == io.EOF { // want errcmp "io.EOF"
+		return true
+	}
+	if err != ErrLocal { // want errcmp "ErrLocal"
+		return false
+	}
+	return false
+}
+
+func pick(err error) int {
+	switch err {
+	case ErrLocal: // want errcmp "identity"
+		return 1
+	default:
+		return 0
+	}
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("reading frame: %v", err) // want errcmp "%w"
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("at offset %d: %s", 7, err) // want errcmp "%w"
+}

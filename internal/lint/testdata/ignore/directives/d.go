@@ -1,0 +1,46 @@
+// Package directives exercises every corner of the //odlint:ignore grammar.
+// The test locates lines by the MARK-* comments; keep them unique.
+package directives
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrLocal = errors.New("local sentinel")
+
+// A standalone directive suppresses the line below it.
+func above(err error) bool {
+	//odlint:ignore errcmp -- fixture: suppression from the line above (MARK-ABOVE)
+	return err == io.EOF
+}
+
+// A trailing directive suppresses its own line.
+func trailing(err error) bool {
+	return err == io.EOF //odlint:ignore errcmp -- fixture: trailing suppression (MARK-TRAILING)
+}
+
+// Missing reason: the directive is rejected and the violation stays.
+func noReason(err error) bool {
+	//odlint:ignore errcmp (MARK-NO-REASON)
+	return err == ErrLocal // MARK-UNSUPPRESSED
+}
+
+// Unknown analyzer name: rejected.
+func unknown(err error) error {
+	//odlint:ignore nosuchanalyzer -- fixture: unknown analyzer (MARK-UNKNOWN)
+	return fmt.Errorf("wrap: %w", err)
+}
+
+// The driver's own diagnostics cannot be suppressed.
+func selfSuppress(err error) error {
+	//odlint:ignore odlint -- fixture: self-suppression attempt (MARK-SELF)
+	return fmt.Errorf("wrap: %w", err)
+}
+
+// A directive that matches nothing is itself a finding.
+func unused(err error) error {
+	//odlint:ignore errcmp -- fixture: nothing to suppress here (MARK-UNUSED)
+	return fmt.Errorf("wrap: %w", err)
+}

@@ -1,0 +1,22 @@
+// Package negative follows the metric discipline: literal snake_case names
+// with the project prefix, each registered once, label keys from the
+// bounded set. Calls on an unwatched type are out of scope entirely.
+package negative
+
+type Reg struct{}
+
+func (r *Reg) NewCounter(name, help string) int                      { return 0 }
+func (r *Reg) NewCounterVec(name, help string, labels []string) int  { return 0 }
+func (r *Reg) NewHistogram(name, help string, buckets []float64) int { return 0 }
+
+// Other is not in the fixture's watched-receiver set.
+type Other struct{}
+
+func (o *Other) NewCounter(name, help string) int { return 0 }
+
+func register(r *Reg, o *Other, dyn string) {
+	r.NewCounter("odserve_requests_total", "h")
+	r.NewCounterVec("odserve_by_route_total", "h", []string{"route"})
+	r.NewHistogram("odserve_latency_seconds", "h", []float64{0.1, 1})
+	o.NewCounter(dyn, "h")
+}

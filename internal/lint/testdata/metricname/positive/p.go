@@ -1,0 +1,20 @@
+// Package positive registers metrics badly. The fixture config watches Reg,
+// allows the odserve_ prefix and only the "route" label key.
+package positive
+
+type Reg struct{}
+
+func (r *Reg) NewCounter(name, help string) int                      { return 0 }
+func (r *Reg) NewCounterVec(name, help string, labels []string) int  { return 0 }
+func (r *Reg) NewHistogram(name, help string, buckets []float64) int { return 0 }
+
+func register(r *Reg, dyn string, keys []string) {
+	r.NewCounter("requests_total", "h")  // want metricname "lacks a project prefix"
+	r.NewCounter("odserve_BadCase", "h") // want metricname "not snake_case"
+	r.NewCounter(dyn, "h")               // want metricname "string literal"
+	r.NewCounter("odserve_dup_total", "h")
+	r.NewCounter("odserve_dup_total", "h")                                      // want metricname "already registered"
+	r.NewCounterVec("odserve_labeled_total", "h", []string{"route", "user_id"}) // want metricname "bounded label-key set"
+	r.NewCounterVec("odserve_dynamic_total", "h", keys)                         // want metricname "literal"
+	r.NewHistogram("odserve_latency_seconds", "h", []float64{0.1, 1})
+}

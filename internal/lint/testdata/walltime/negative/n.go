@@ -1,0 +1,14 @@
+// Package negative keeps its stats scheduler-independent: durations are
+// injected by the caller, progress is counted in logical units.
+package negative
+
+import "time"
+
+type Stats struct {
+	Elapsed time.Duration
+	Rounds  int
+}
+
+func Collect(elapsed time.Duration, rounds int) Stats {
+	return Stats{Elapsed: elapsed, Rounds: rounds}
+}

@@ -1,0 +1,17 @@
+// Package positive reads the wall clock in what the fixture config declares
+// a scheduler-independent stats package.
+package positive
+
+import "time"
+
+type Stats struct {
+	Elapsed time.Duration
+}
+
+func Collect(start time.Time) Stats {
+	return Stats{Elapsed: time.Since(start)} // want walltime "time.Since"
+}
+
+func Stamp() time.Time {
+	return time.Now() // want walltime "time.Now"
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTimeConfig scopes the walltime analyzer to the packages whose
+// statistics must stay scheduler-independent.
+type WallTimeConfig struct {
+	// Packages lists import paths in which reading the wall clock is
+	// forbidden outside tests.
+	Packages []string
+	// Allow holds function keys inside those packages that may still read
+	// the clock (e.g. an explicitly wall-clock-facing tracing hook).
+	Allow map[string]bool
+}
+
+// WallTime builds the walltime analyzer. The discovery pipeline's
+// PipelineStats and the prover's Counters are compared against golden
+// values in CI; a time.Now/Since/Until call on those paths makes the
+// numbers depend on scheduler timing and turns the gate flaky. Durations
+// that matter there are injected by the caller or counted in logical units.
+func WallTime(cfg WallTimeConfig) *Analyzer {
+	scope := map[string]bool{}
+	for _, p := range cfg.Packages {
+		scope[p] = true
+	}
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "no wall-clock reads in scheduler-independent stat packages",
+		Run: func(pass *Pass) {
+			if !scope[pass.Path] {
+				return
+			}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if cfg.Allow[funcDeclKey(pass.Package, fd)] {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if name, ok := stdFunc(pass.Package, call, "time", "Now", "Since", "Until"); ok {
+							pass.Reportf(call.Pos(),
+								"time.%s in a scheduler-independent stats package: stats here are CI-gated against golden values; inject the duration or count logical units instead", name)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}

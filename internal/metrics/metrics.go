@@ -313,12 +313,14 @@ func (r *Registry) NewCounterFunc(name, help string, labels []string, collect fu
 // MetricsRegistry hook wants: a *Registry satisfies that interface without
 // odclient importing this package.
 func (r *Registry) Counter(name, help string) func(float64) {
+	//odlint:ignore metricname -- pass-through registration: the literal name is checked at the external call site
 	return r.NewCounter(name, help).Add
 }
 
 // Histogram returns the observe function of an unlabeled histogram,
 // registering it on first use; see Counter.
 func (r *Registry) Histogram(name, help string, buckets []float64) func(float64) {
+	//odlint:ignore metricname -- pass-through registration: the literal name is checked at the external call site
 	return r.NewHistogram(name, help, buckets).Observe
 }
 

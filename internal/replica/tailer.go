@@ -150,7 +150,7 @@ func (t *Tailer) Sync(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			if err != nil {
-				return fmt.Errorf("replica: sync: %w (last pass: %v)", ctx.Err(), err)
+				return fmt.Errorf("replica: sync: %w (last pass: %w)", ctx.Err(), err)
 			}
 			return fmt.Errorf("replica: sync: %w", ctx.Err())
 		case <-time.After(10 * time.Millisecond):

@@ -779,7 +779,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	var req snapshotRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil && err != io.EOF {
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}

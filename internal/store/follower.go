@@ -49,7 +49,7 @@ func DecodeFrames(b []byte) (recs []Record, consumed int64, err error) {
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, consumed, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			return recs, consumed, fmt.Errorf("%w: %w", ErrBadFrame, err)
 		}
 		recs = append(recs, rec)
 		consumed += frameHeaderLen + int64(n)

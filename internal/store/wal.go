@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -321,7 +322,7 @@ func scanWAL(f *os.File) ([]Record, int64, error) {
 	for {
 		var hdr [frameHeaderLen]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				break // clean end or torn header
 			}
 			return nil, 0, err
@@ -333,7 +334,7 @@ func scanWAL(f *os.File) ([]Record, int64, error) {
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				break // torn payload
 			}
 			return nil, 0, err

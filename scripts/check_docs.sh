@@ -5,7 +5,7 @@
 set -eu
 
 status=0
-for dir in $(find internal pkg -type d | sort); do
+for dir in $(find internal pkg -type d -not -path '*/testdata*' | sort); do
     # Only package directories: at least one non-test .go file.
     has_go=false
     for f in "$dir"/*.go; do
@@ -31,6 +31,16 @@ for dir in $(find internal pkg -type d | sort); do
             status=1
         fi
     done
+done
+
+# Every cmd/odserve flag must have a row in docs/API.md's flag table: the
+# flag definitions are the source of truth, the table is the contract users
+# read. A new flag without a documented row fails here.
+for flag in $(grep -o 'fs\.[A-Za-z0-9]*("[a-z-]*"' cmd/odserve/main.go | sed 's/.*("\([a-z-]*\)".*/\1/' | sort -u); do
+    if ! grep -q "^| \`-$flag\`" docs/API.md; then
+        echo "cmd/odserve flag -$flag is missing from the docs/API.md flag table" >&2
+        status=1
+    fi
 done
 
 # internal/metrics is named explicitly on top of the directory walk: its
